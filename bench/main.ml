@@ -1,0 +1,532 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index), plus Bechamel
+   micro-benchmarks of the substrates.
+
+     dune exec bench/main.exe                 -- everything (E1-E4 + micro)
+     dune exec bench/main.exe -- fig3         -- one experiment
+     dune exec bench/main.exe -- table1 --fast
+
+   Wall-clock seconds are reported for the heavyweight experiments (each
+   cell is one solver campaign, not a repeatable microbenchmark); micro
+   uses Bechamel's OLS estimator. *)
+
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+module V = Sepe_sqed.Verifier
+module Synth = Sqed_synth
+module Trace = Sqed_bmc.Trace
+
+let fast = ref false
+let line = String.make 72 '-'
+
+let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Fig. 3: synthesis time, HPF-CEGIS vs iterative CEGIS           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section
+    "Fig. 3 - time to synthesize equivalent programs per original \
+     instruction\n(HPF-CEGIS vs iterative CEGIS; the classical baseline is \
+     E4)";
+  let cases =
+    if !fast then [ "ADD"; "SUB"; "XOR"; "OR" ]
+    else List.map (fun s -> s.Synth.Component.g_name) Synth.Library_.specs
+  in
+  let k = if !fast then 2 else 8 in
+  let seeds = if !fast then [ 1 ] else [ 1; 2; 3 ] in
+  let budget = if !fast then 60.0 else 300.0 in
+  let mk_options seed =
+    {
+      Synth.Engine.default_options with
+      Synth.Engine.k;
+      n_max = 3;
+      seed;
+      time_budget = Some budget;
+      config = { Synth.Cegis.default_config with Synth.Cegis.xlen = 8 };
+    }
+  in
+  Printf.printf
+    "library: 30 components; k=%d programs of >=3 components; multisets of \
+     size 3; xlen=8; budget %.0fs/run; mean over %d seeds\n\n"
+    k budget (List.length seeds);
+  Printf.printf "%-8s %12s %12s %10s %14s\n" "case" "HPF (s)" "iter (s)"
+    "HPF/iter" "HPF multisets";
+  let rows = ref [] in
+  List.iter
+    (fun case ->
+      let spec = Synth.Library_.spec case in
+      let mean f =
+        List.fold_left (fun acc seed -> acc +. f (mk_options seed)) 0.0 seeds
+        /. Float.of_int (List.length seeds)
+      in
+      let last_tried = ref 0 and last_total = ref 0 in
+      let th =
+        mean (fun options ->
+            let r =
+              Synth.Hpf.synthesize ~options ~spec
+                ~library:Synth.Library_.default ()
+            in
+            last_tried := r.Synth.Engine.stats.Synth.Cegis.multisets_tried;
+            last_total := r.Synth.Engine.multisets_total;
+            r.Synth.Engine.elapsed)
+      in
+      let ti =
+        mean (fun options ->
+            (Synth.Iterative.synthesize ~options ~spec
+               ~library:Synth.Library_.default)
+              .Synth.Engine.elapsed)
+      in
+      rows := (case, th, ti) :: !rows;
+      Printf.printf "%-8s %12.2f %12.2f %10.2f %9d/%d\n%!" case th ti
+        (th /. ti) !last_tried !last_total)
+    cases;
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 !rows in
+  let th = total (fun (_, a, _) -> a) and ti = total (fun (_, _, b) -> b) in
+  Printf.printf
+    "\noverall: HPF %.1fs vs iterative %.1fs -> %.0f%% time reduction \
+     (paper: ~50%% average)\n"
+    th ti
+    (100.0 *. (1.0 -. (th /. ti)))
+
+(* ------------------------------------------------------------------ *)
+(* E2 / Table 1: injected single-instruction bugs                      *)
+(* ------------------------------------------------------------------ *)
+
+let bug_config bug base =
+  if Bug.needs_m bug then { base with Config.ext_m = true } else base
+
+let sepe_min_depth cfg bug =
+  match V.min_cex_depth ~method_:V.Sepe_sqed ~bug cfg with
+  | Some d -> d
+  | None -> 1
+
+let table1_focus bug =
+  Option.bind (Bug.table1_row bug) (fun row ->
+      match
+        List.find_opt (fun op -> Sqed_isa.Insn.rop_name op = row)
+          Sqed_isa.Insn.all_rops
+      with
+      | Some op -> Some (Sqed_qed.Equiv_table.Kr op)
+      | None -> (
+          match
+            List.find_opt (fun op -> Sqed_isa.Insn.iop_name op = row)
+              Sqed_isa.Insn.all_iops
+          with
+          | Some op -> Some (Sqed_qed.Equiv_table.Ki op)
+          | None -> if row = "SW" then Some Sqed_qed.Equiv_table.Ksw else None))
+
+let table1 () =
+  section
+    "Table 1 - injected single-instruction bugs\n\
+     (SEPE-SQED detects each; SQED, checked at the same depth with more \
+     time, reports nothing)";
+  let base = Config.tiny in
+  let budget = if !fast then 120.0 else 600.0 in
+  Printf.printf
+    "core: %s (+m for MULH); budget %.0fs/cell.\n\
+     The [bad] state is persistent (idle inputs freeze a violated state),\n\
+     so one SAT query at depth D witnesses the bug and one UNSAT query at\n\
+     depth D covers every depth <= D.\n\n"
+    (Config.to_string base) budget;
+  Printf.printf "%-6s | %-42s | %-16s | %s\n" "Type" "Function" "SEPE-SQED"
+    "SQED";
+  Printf.printf "%s\n" line;
+  List.iter
+    (fun bug ->
+      let cfg = bug_config bug base in
+      let min_depth = sepe_min_depth cfg bug in
+      (* Short equivalent sequences: incremental sweep from just below the
+         class minimum (finds the shortest trace; the intermediate UNSAT
+         depths are cheap).  Long sequences (MULH): one SAT query above
+         the minimum, avoiding the expensive deep UNSAT sweep — sound by
+         bad-persistence. *)
+      (* Witness (SAT) queries may soundly focus the original-instruction
+         stream on the mutated class. *)
+      let focus = table1_focus bug in
+      let sepe =
+        if min_depth <= 10 then
+          V.run ~bug ?focus ~method_:V.Sepe_sqed ~bound:(min_depth + 4)
+            ~start_bound:(max 1 (min_depth - 2))
+            ~time_budget:budget cfg
+        else
+          (* The witness query for a 7-instruction sequence over the
+             multiplier is the hardest cell of the table (the paper's
+             slowest row too); start exactly at the class minimum and
+             give it a triple budget. *)
+          V.run ~bug ?focus ~method_:V.Sepe_sqed ~bound:(min_depth + 4)
+            ~start_bound:min_depth ~time_budget:(3.0 *. budget) cfg
+      in
+      let sepe_cell, sqed_bound, sqed_budget =
+        match V.trace sepe with
+        | Some t ->
+            ( Printf.sprintf "%.2fs (d%s%d)"
+                sepe.V.stats.Sqed_bmc.Engine.solve_time
+                (if min_depth <= 10 then "=" else "<=")
+                t.Trace.length,
+              (* Cap the SQED sweep at a comparable shallow depth; beyond
+                 the class minimum EDDI UNSAT proofs explode and add no
+                 information. *)
+              min t.Trace.length 9,
+              Float.max 180.0 (3.0 *. sepe.V.stats.Sqed_bmc.Engine.solve_time)
+            )
+        | None -> (V.outcome_to_string sepe, 8, budget)
+      in
+      let sqed =
+        V.run ~bug ~method_:V.Sqed ~bound:sqed_bound ~start_bound:6
+          ~time_budget:sqed_budget cfg
+      in
+      let sqed_cell =
+        if V.detected sqed then
+          Printf.sprintf "DETECTED?! %.2fs"
+            sqed.V.stats.Sqed_bmc.Engine.solve_time
+        else
+          match sqed.V.outcome with
+          | Sqed_bmc.Engine.No_counterexample ->
+              Printf.sprintf "-  (clean to d=%d)" sqed_bound
+          | Sqed_bmc.Engine.Gave_up k ->
+              Printf.sprintf "-  (budget at d=%d)" k
+          | Sqed_bmc.Engine.Counterexample _ -> assert false
+      in
+      Printf.printf "%-6s | %-42s | %-16s | %s\n%!"
+        (match Bug.table1_row bug with Some r -> r | None -> "?")
+        (Bug.describe bug) sepe_cell sqed_cell)
+    (if !fast then [ Bug.Bug_add; Bug.Bug_xor; Bug.Bug_sw ]
+     else Bug.all_single)
+
+(* ------------------------------------------------------------------ *)
+(* E3 / Fig. 4: multiple-instruction bugs                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section
+    "Fig. 4 - multiple-instruction bugs: detection time and counterexample \
+     length,\nSQED vs SEPE-SQED (both detect; ratios > 1 favour SEPE-SQED)";
+  let base = Config.tiny in
+  let bound = 14 in
+  let budget = if !fast then 180.0 else 900.0 in
+  Printf.printf "core: %s; BMC bound %d; budget %.0fs/cell\n\n"
+    (Config.to_string base) bound budget;
+  Printf.printf "%-18s %14s %14s %9s %9s\n" "bug" "SQED s(len)" "SEPE s(len)"
+    "t-ratio" "len-ratio";
+  let cell r =
+    match V.trace r with
+    | Some t ->
+        ( Printf.sprintf "%8.2f(%2d)" r.V.stats.Sqed_bmc.Engine.solve_time
+            t.Trace.length,
+          Some (r.V.stats.Sqed_bmc.Engine.solve_time, t.Trace.length) )
+    | None ->
+        ( (match r.V.outcome with
+          | Sqed_bmc.Engine.Gave_up _ -> "  gave-up"
+          | _ -> "    clean"),
+          None )
+  in
+  let bugs =
+    if !fast then [ Bug.Bug_fwd_mem_rs1; Bug.Bug_load_use_stall ]
+    else Bug.all_multi
+  in
+  List.iter
+    (fun bug ->
+      let cfg = bug_config bug base in
+      let sqed = V.run ~bug ~method_:V.Sqed ~bound ~time_budget:budget cfg in
+      let sepe =
+        V.run ~bug ~method_:V.Sepe_sqed ~bound ~time_budget:budget cfg
+      in
+      let c1, m1 = cell sqed and c2, m2 = cell sepe in
+      let ratios =
+        match (m1, m2) with
+        | Some (t1, l1), Some (t2, l2) ->
+            Printf.sprintf "%9.2f %9.2f" (t1 /. t2)
+              (Float.of_int l1 /. Float.of_int l2)
+        | _ -> ""
+      in
+      Printf.printf "%-18s %14s %14s %s\n%!" (Bug.name bug) c1 c2 ratios)
+    bugs
+
+(* ------------------------------------------------------------------ *)
+(* E4: classical CEGIS fails within budget                             *)
+(* ------------------------------------------------------------------ *)
+
+let classical () =
+  section
+    "E4 - classical (whole-library) CEGIS baseline\n\
+     (paper: failed to synthesize a single instruction after several weeks)";
+  let budget = if !fast then 30.0 else 120.0 in
+  let options =
+    {
+      Synth.Engine.default_options with
+      Synth.Engine.time_budget = Some budget;
+      config =
+        {
+          Synth.Cegis.default_config with
+          Synth.Cegis.xlen = 8;
+          max_conflicts = Some 500_000;
+        };
+    }
+  in
+  List.iter
+    (fun case ->
+      let spec = Synth.Library_.spec case in
+      let outcome, stats, elapsed =
+        Synth.Brahma.synthesize ~options ~spec ~library:Synth.Library_.default
+      in
+      Printf.printf "%-6s: %s after %.1fs (%d CEGIS iterations)\n%!" case
+        (match outcome with
+        | Synth.Brahma.Synthesized p ->
+            "synthesized " ^ Synth.Program.to_string p
+        | Synth.Brahma.Budget_exhausted -> "budget exhausted"
+        | Synth.Brahma.No_program -> "no program")
+        elapsed stats.Synth.Cegis.cegis_iterations)
+    [ "SUB"; "XOR" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: which HPF mechanism buys what                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section
+    "ablation - HPF-CEGIS mechanisms (DESIGN.md design choices)\n\
+     alpha=0 drops the same-name penalty; the no-learning variant is the \
+     shuffled iterative baseline restricted to size-3 multisets";
+  let cases = [ "ADD"; "SUB"; "XOR"; "SLT" ] in
+  let budget = if !fast then 60.0 else 180.0 in
+  let options =
+    {
+      Synth.Engine.default_options with
+      Synth.Engine.k = 3;
+      n_max = 3;
+      time_budget = Some budget;
+      config = { Synth.Cegis.default_config with Synth.Cegis.xlen = 8 };
+    }
+  in
+  Printf.printf "%-8s %14s %14s %14s\n" "case" "HPF a=1 (s)" "HPF a=0 (s)"
+    "no-learn (s)";
+  List.iter
+    (fun case ->
+      let spec = Synth.Library_.spec case in
+      let t1 =
+        (Synth.Hpf.synthesize ~alpha:1 ~options ~spec
+           ~library:Synth.Library_.default ())
+          .Synth.Engine.elapsed
+      in
+      let t0 =
+        (Synth.Hpf.synthesize ~alpha:0 ~options ~spec
+           ~library:Synth.Library_.default ())
+          .Synth.Engine.elapsed
+      in
+      (* No-learning baseline: iterative CEGIS over the same fixed-size
+         multiset pool (priorities never change <=> random order). *)
+      let tn =
+        (Synth.Iterative.synthesize ~options ~spec
+           ~library:Synth.Library_.default)
+          .Synth.Engine.elapsed
+      in
+      Printf.printf "%-8s %14.2f %14.2f %14.2f\n%!" case t1 t0 tn)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Cross-core: the same QED layer on a different microarchitecture     *)
+(* ------------------------------------------------------------------ *)
+
+let crosscore () =
+  section
+    "cross-core - microarchitecture independence: the unchanged QED layer\n\
+     verifying a 3-stage core next to the 5-stage one (ADD mutation)";
+  let cfg = Config.tiny in
+  Printf.printf "%-22s %-24s %s\n" "core" "SEPE-SQED" "SQED";
+  List.iter
+    (fun (label, core) ->
+      let sepe =
+        V.run ~core ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
+          ~time_budget:600.0 cfg
+      in
+      let sqed =
+        V.run ~core ~bug:Bug.Bug_add ~method_:V.Sqed ~bound:8
+          ~time_budget:600.0 cfg
+      in
+      Printf.printf "%-22s %-24s %s\n%!" label
+        (V.outcome_to_string sepe)
+        (if V.detected sqed then "DETECTED?!" else "-")
+      )
+    [
+      ("5-stage pipeline", Sqed_qed.Qed_top.Five_stage);
+      ("3-stage pipeline", Sqed_qed.Qed_top.Three_stage);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: BMC cost vs datapath width                                 *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  section
+    "scaling - SEPE-SQED detection cost vs configuration size\n\
+     (why the experiments run on scaled cores; see DESIGN.md)";
+  let budget = if !fast then 120.0 else 900.0 in
+  let cases =
+    [
+      ("tiny  (xlen=4,  8 regs)", Config.tiny);
+      ("small (xlen=8, 16 regs)", Config.small);
+    ]
+    @ (if !fast then [] else [ ("wide  (xlen=16, 16 regs)",
+                                { Config.small with Config.xlen = 16 }) ])
+  in
+  Printf.printf "%-26s %-12s %14s %10s\n" "config" "state bits"
+    "detect add (s)" "depth";
+  List.iter
+    (fun (label, cfg) ->
+      let model = Sqed_qed.Qed_top.edsep ~bug:Bug.Bug_add cfg in
+      let stats_str =
+        let c = model.Sqed_qed.Qed_top.circuit in
+        List.fold_left
+          (fun acc r -> acc + Sqed_rtl.Circuit.node_width c r)
+          0
+          (Sqed_rtl.Circuit.registers c)
+      in
+      let r =
+        V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
+          ~time_budget:budget cfg
+      in
+      let cell =
+        match V.trace r with
+        | Some t ->
+            Printf.sprintf "%14.2f %10d" r.V.stats.Sqed_bmc.Engine.solve_time
+              t.Trace.length
+        | None -> Printf.sprintf "%14s %10s" "-" "-"
+      in
+      Printf.printf "%-26s %-12d %s\n%!" label stats_str cell)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "micro-benchmarks of the substrates (Bechamel, OLS ns/run)";
+  let open Bechamel in
+  let sat_php () =
+    let module Sat = Sqed_sat.Sat in
+    let s = Sat.create () in
+    let n = 5 in
+    let p =
+      Array.init n (fun _ -> Array.init (n - 1) (fun _ -> Sat.new_var s))
+    in
+    Array.iter
+      (fun row -> Sat.add_clause s (Array.to_list (Array.map Sat.pos row)))
+      p;
+    for h = 0 to n - 2 do
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          Sat.add_clause s
+            [ Sat.neg_of_var p.(i).(h); Sat.neg_of_var p.(j).(h) ]
+        done
+      done
+    done;
+    assert (Sat.solve s = Sat.Unsat)
+  in
+  let smt_adder () =
+    let module Term = Sqed_smt.Term in
+    let module Solver = Sqed_smt.Solver in
+    let s = Solver.create () in
+    let x = Term.var "mb_x" 16 and y = Term.var "mb_y" 16 in
+    Solver.assert_ s (Term.distinct (Term.add x y) (Term.add y x));
+    assert (Solver.check s = Solver.Unsat)
+  in
+  let sim_cycles =
+    let c = Sqed_proc.Testbench.circuit Config.small in
+    fun () ->
+      let sim = Sqed_rtl.Sim.create c in
+      let inputs =
+        [
+          ("instr", Sqed_isa.Encode.encode Sqed_isa.Insn.nop);
+          ("instr_valid", Sqed_bv.Bv.one 1);
+        ]
+      in
+      for _ = 1 to 20 do
+        ignore (Sqed_rtl.Sim.cycle sim inputs)
+      done
+  in
+  let topo_enum () =
+    let spec = Synth.Library_.spec "SUB" in
+    let ms =
+      [
+        Synth.Library_.find "NOT";
+        Synth.Library_.find "ADD";
+        Synth.Library_.find "NOT";
+      ]
+    in
+    ignore (Synth.Topology.enumerate ~spec ms)
+  in
+  let bv_mul () =
+    let module Bv = Sqed_bv.Bv in
+    let a = Bv.of_int ~width:128 0x123456789 in
+    let b = Bv.of_int ~width:128 987654321 in
+    ignore (Bv.mul a b)
+  in
+  let tests =
+    [
+      Test.make ~name:"sat: pigeonhole 5/4 unsat" (Staged.stage sat_php);
+      Test.make ~name:"smt: 16-bit adder comm proof" (Staged.stage smt_adder);
+      Test.make ~name:"rtl: 20 pipeline sim cycles" (Staged.stage sim_cycles);
+      Test.make ~name:"synth: topology enumeration" (Staged.stage topo_enum);
+      Test.make ~name:"bv: 128-bit multiply" (Staged.stage bv_mul);
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.8) ~kde:(Some 500) ()
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun t ->
+          let m = Benchmark.run cfg [ instance ] t in
+          let est = Analyze.one ols instance m in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) ns
+          | _ -> Printf.printf "  %-32s (no estimate)\n%!" (Test.Elt.name t))
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--fast" then begin
+          fast := true;
+          false
+        end
+        else true)
+      args
+  in
+  let all =
+    [
+      ("fig3", fig3);
+      ("table1", table1);
+      ("fig4", fig4);
+      ("classical", classical);
+      ("ablation", ablation);
+      ("scaling", scaling);
+      ("crosscore", crosscore);
+      ("micro", micro);
+    ]
+  in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) all
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n all with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf
+                "unknown experiment %S (fig3|table1|fig4|classical|micro)\n" n;
+              exit 1)
+        names

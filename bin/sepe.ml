@@ -1,0 +1,563 @@
+(* The `sepe` command-line tool: program synthesis, equivalence tables and
+   QED-based processor verification from the shell. *)
+
+let () = Printexc.record_backtrace true
+
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+module V = Sepe_sqed.Verifier
+module Flow = Sepe_sqed.Flow
+module Synth = Sqed_synth
+
+open Cmdliner
+
+(* ---- shared arguments -------------------------------------------------- *)
+
+let config_of_string = function
+  | "rv32" -> Ok Config.rv32
+  | "small" -> Ok Config.small
+  | "small-m" -> Ok Config.small_m
+  | "tiny" -> Ok Config.tiny
+  | s -> Error (`Msg (Printf.sprintf "unknown config %S (rv32|small|small-m|tiny)" s))
+
+let config_conv =
+  Arg.conv
+    ( config_of_string,
+      fun fmt c -> Format.pp_print_string fmt (Config.to_string c) )
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Config.small
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"Core configuration: rv32, small, small-m or tiny.")
+
+let bug_conv =
+  Arg.conv
+    ( (fun s ->
+        match Bug.of_name s with
+        | Some b -> Ok b
+        | None -> Error (`Msg ("unknown bug " ^ s ^ " (see `sepe bugs`)"))),
+      fun fmt b -> Format.pp_print_string fmt (Bug.name b) )
+
+(* ---- sepe bugs ---------------------------------------------------------- *)
+
+let bugs_cmd =
+  let run () =
+    print_endline "Single-instruction bugs (Table 1):";
+    List.iter
+      (fun b -> Printf.printf "  %-18s %s\n" (Bug.name b) (Bug.describe b))
+      Bug.all_single;
+    print_endline "Multiple-instruction bugs (Fig. 4):";
+    List.iter
+      (fun b -> Printf.printf "  %-18s %s\n" (Bug.name b) (Bug.describe b))
+      Bug.all_multi
+  in
+  Cmd.v (Cmd.info "bugs" ~doc:"List the mutation catalog.")
+    Term.(const run $ const ())
+
+(* ---- sepe synth ---------------------------------------------------------- *)
+
+let synth_cmd =
+  let case =
+    Arg.(
+      value & opt string "SUB"
+      & info [ "case" ] ~docv:"INSN" ~doc:"Original instruction to synthesize.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "hpf"
+      & info [ "engine" ] ~doc:"Synthesis engine: hpf, iterative or classical.")
+  in
+  let xlen = Arg.(value & opt int 8 & info [ "xlen" ] ~doc:"Synthesis width.") in
+  let k =
+    Arg.(value & opt int 5 & info [ "k" ] ~doc:"Programs of >=3 components to find.")
+  in
+  let n_max = Arg.(value & opt int 3 & info [ "n-max" ] ~doc:"Largest multiset size.") in
+  let budget =
+    Arg.(value & opt float 120.0 & info [ "budget" ] ~doc:"Time budget (seconds).")
+  in
+  let run case engine xlen k n_max budget =
+    let spec = Synth.Library_.spec case in
+    let options =
+      {
+        Synth.Engine.default_options with
+        Synth.Engine.k;
+        n_max;
+        time_budget = Some budget;
+        config = { Synth.Cegis.default_config with Synth.Cegis.xlen };
+      }
+    in
+    let library = Synth.Library_.default in
+    match engine with
+    | "classical" ->
+        let outcome, stats, elapsed =
+          Synth.Brahma.synthesize ~options ~spec ~library
+        in
+        Printf.printf "classical CEGIS on %s: %s (%.1fs, %d solver calls)\n"
+          case
+          (match outcome with
+          | Synth.Brahma.Synthesized p -> "synthesized " ^ Synth.Program.to_string p
+          | Synth.Brahma.Budget_exhausted -> "budget exhausted"
+          | Synth.Brahma.No_program -> "no program")
+          elapsed stats.Synth.Cegis.solver_calls
+    | "hpf" | "iterative" ->
+        let r =
+          if engine = "hpf" then
+            Synth.Hpf.synthesize ~options ~spec ~library ()
+          else Synth.Iterative.synthesize ~options ~spec ~library
+        in
+        Printf.printf
+          "%s on %s: %d programs in %.2fs (%d/%d multisets, %d solver calls)\n"
+          engine case
+          (List.length r.Synth.Engine.programs)
+          r.Synth.Engine.elapsed
+          r.Synth.Engine.stats.Synth.Cegis.multisets_tried
+          r.Synth.Engine.multisets_total
+          r.Synth.Engine.stats.Synth.Cegis.solver_calls;
+        List.iter
+          (fun p -> Printf.printf "  %s\n" (Synth.Program.to_string p))
+          r.Synth.Engine.programs
+    | other -> Printf.eprintf "unknown engine %S\n" other
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize semantically equivalent programs.")
+    Term.(const run $ case $ engine $ xlen $ k $ n_max $ budget)
+
+(* ---- sepe table ----------------------------------------------------------- *)
+
+let table_cmd =
+  let synthesize =
+    Arg.(
+      value & flag
+      & info [ "synthesize" ]
+          ~doc:"Produce the table with HPF-CEGIS instead of the built-in one.")
+  in
+  let run cfg synthesize =
+    let table =
+      if synthesize then begin
+        let table, cases = Flow.synthesize_table cfg in
+        List.iter
+          (fun c ->
+            Printf.printf "# %s: %d programs, %.1fs%s\n" c.Flow.case
+              (List.length c.Flow.programs)
+              c.Flow.elapsed
+              (match c.Flow.chosen with
+              | Some p -> " -> " ^ Synth.Program.to_string p
+              | None -> " (fallback to builtin)"))
+          cases;
+        table
+      end
+      else Flow.builtin_table cfg
+    in
+    print_endline (Sqed_qed.Equiv_table.to_string table)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print the EDSEP-V equivalence table.")
+    Term.(const run $ config_arg $ synthesize)
+
+(* ---- sepe verify ------------------------------------------------------------ *)
+
+let verify_cmd =
+  let method_ =
+    Arg.(
+      value & opt string "sepe"
+      & info [ "m"; "method" ] ~doc:"Verification method: sepe or sqed.")
+  in
+  let bug =
+    Arg.(
+      value & opt (some bug_conv) None
+      & info [ "bug" ] ~docv:"BUG" ~doc:"Mutation to inject (default: none).")
+  in
+  let bound = Arg.(value & opt int 10 & info [ "bound" ] ~doc:"BMC bound (cycles).") in
+  let budget =
+    Arg.(value & opt float 600.0 & info [ "budget" ] ~doc:"Time budget (seconds).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No trace output.") in
+  let core =
+    Arg.(
+      value & opt int 5
+      & info [ "core" ] ~docv:"STAGES"
+          ~doc:"DUV variant: 5 (default) or 3 pipeline stages.")
+  in
+  let do_shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily reduce the counterexample by concrete replay.")
+  in
+  let table_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "table" ] ~docv:"FILE"
+          ~doc:"Custom EDSEP-V equivalence table (the `sepe table` format).")
+  in
+  let run cfg method_ bug bound budget quiet core do_shrink table_file =
+    let core =
+      match core with
+      | 3 -> Sqed_qed.Qed_top.Three_stage
+      | _ -> Sqed_qed.Qed_top.Five_stage
+    in
+    let method_ =
+      match method_ with
+      | "sqed" -> V.Sqed
+      | "sepe" | "sepe-sqed" -> V.Sepe_sqed
+      | other -> failwith ("unknown method " ^ other)
+    in
+    let cfg =
+      match bug with
+      | Some b when Bug.needs_m b && not cfg.Config.ext_m ->
+          Printf.printf "note: %s needs the multiplier; using small-m\n"
+            (Bug.name b);
+          Config.small_m
+      | _ -> cfg
+    in
+    let progress k el =
+      if not quiet then Printf.printf "  depth %d clear (%.1fs)\n%!" k el
+    in
+    let table =
+      Option.map
+        (fun path ->
+          let text = In_channel.with_open_text path In_channel.input_all in
+          match Sqed_qed.Equiv_table.of_string text with
+          | Ok t -> t
+          | Error e -> failwith ("table parse error: " ^ e))
+        table_file
+    in
+    let r =
+      V.run ?bug ?table ~core ~method_ ~bound ~time_budget:budget ~progress
+        cfg
+    in
+    Printf.printf "%s %s: %s\n" (V.method_name method_)
+      (match bug with Some b -> "with bug " ^ Bug.name b | None -> "(no bug)")
+      (V.outcome_to_string r);
+    match V.trace r with
+    | Some t when not quiet ->
+        let t =
+          if do_shrink then begin
+            let model =
+              match method_ with
+              | V.Sqed -> Sqed_qed.Qed_top.eddi ?bug ~core cfg
+              | V.Sepe_sqed -> Sqed_qed.Qed_top.edsep ?bug ~core ?table cfg
+            in
+            let s = Sqed_bmc.Engine.shrink model t in
+            Printf.printf "shrunk: %d -> %d cycles, %d -> %d instructions\n"
+              t.Sqed_bmc.Trace.length s.Sqed_bmc.Trace.length
+              t.Sqed_bmc.Trace.instructions s.Sqed_bmc.Trace.instructions;
+            s
+          end
+          else t
+        in
+        print_endline (Sqed_bmc.Trace.to_string t);
+        print_endline "input stimulus:";
+        print_string (Sqed_bmc.Trace.waveform t)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run SQED / SEPE-SQED bounded model checking.")
+    Term.(
+      const run $ config_arg $ method_ $ bug $ bound $ budget $ quiet $ core
+      $ do_shrink $ table_file)
+
+(* ---- sepe export --------------------------------------------------------- *)
+
+let export_cmd =
+  let format =
+    Arg.(
+      value & opt string "btor2"
+      & info [ "f"; "format" ] ~doc:"Output format: btor2 or verilog.")
+  in
+  let method_ =
+    Arg.(
+      value & opt string "sepe"
+      & info [ "m"; "method" ] ~doc:"QED model: sepe or sqed.")
+  in
+  let bug =
+    Arg.(
+      value & opt (some bug_conv) None
+      & info [ "bug" ] ~docv:"BUG" ~doc:"Mutation to inject.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file (default: stdout).")
+  in
+  let run cfg format method_ bug out =
+    let model =
+      match method_ with
+      | "sqed" -> Sqed_qed.Qed_top.eddi ?bug cfg
+      | _ -> Sqed_qed.Qed_top.edsep ?bug cfg
+    in
+    let text =
+      match format with
+      | "verilog" -> Sqed_rtl.Verilog.to_string model.Sqed_qed.Qed_top.circuit
+      | _ -> Sqed_rtl.Btor2.to_string model.Sqed_qed.Qed_top.circuit
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export the QED verification model as BTOR2 or Verilog.")
+    Term.(const run $ config_arg $ format $ method_ $ bug $ out)
+
+(* ---- sepe sim -------------------------------------------------------------- *)
+
+let sim_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Assembly file (one instruction per line).")
+  in
+  let bug =
+    Arg.(
+      value & opt (some bug_conv) None
+      & info [ "bug" ] ~docv:"BUG" ~doc:"Mutation to inject.")
+  in
+  let run cfg file bug =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Sqed_isa.Asm.parse_program text with
+    | Error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | Ok program ->
+        let piped = Sqed_proc.Testbench.run ?bug cfg program in
+        let gold = Sqed_proc.Testbench.golden cfg program in
+        Printf.printf "pipeline vs golden interpreter (%s):\n"
+          (Config.to_string cfg);
+        for i = 1 to cfg.Config.nregs - 1 do
+          let a = Sqed_isa.Exec.reg piped i
+          and b = Sqed_isa.Exec.reg gold i in
+          if not (Sqed_bv.Bv.is_zero a) || not (Sqed_bv.Bv.is_zero b) then
+            Printf.printf "  x%-2d  pipeline=%-12s golden=%-12s%s\n" i
+              (Sqed_bv.Bv.to_string a) (Sqed_bv.Bv.to_string b)
+              (if Sqed_bv.Bv.equal a b then "" else "  <-- DIVERGES")
+        done;
+        if Sqed_isa.Exec.equal piped gold then
+          print_endline "states match."
+        else print_endline "STATES DIVERGE."
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Run an assembly program on the pipeline and diff the golden model.")
+    Term.(const run $ config_arg $ file $ bug)
+
+(* ---- sepe campaign ----------------------------------------------------------- *)
+
+let campaign_cmd =
+  let method_ =
+    Arg.(
+      value & opt string "sepe"
+      & info [ "m"; "method" ] ~doc:"QED scheme: sepe or sqed.")
+  in
+  let bug =
+    Arg.(
+      value & opt (some bug_conv) None
+      & info [ "bug" ] ~docv:"BUG" ~doc:"Mutation to inject.")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Random programs.") in
+  let len = Arg.(value & opt int 4 & info [ "len" ] ~doc:"Instructions per program.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run cfg method_ bug runs len seed =
+    let scheme =
+      match method_ with
+      | "sqed" -> Sqed_qed.Partition.Eddi
+      | _ -> Sqed_qed.Partition.Edsep
+    in
+    let c =
+      Sqed_qed.Qed_sim.campaign ?bug ~scheme ~seed ~runs ~program_length:len
+        cfg
+    in
+    Printf.printf
+      "concrete QED campaign (%s, %s): %d/%d runs detected a violation%s \
+       (%d cycles total)\n"
+      (match scheme with
+      | Sqed_qed.Partition.Eddi -> "EDDI-V"
+      | Sqed_qed.Partition.Edsep -> "EDSEP-V")
+      (match bug with Some b -> Bug.name b | None -> "no bug")
+      c.Sqed_qed.Qed_sim.detections c.Sqed_qed.Qed_sim.runs
+      (match c.Sqed_qed.Qed_sim.first_detection with
+      | Some i -> Printf.sprintf " (first at run %d)" i
+      | None -> "")
+      c.Sqed_qed.Qed_sim.total_cycles
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Concrete (non-symbolic) QED testing with random programs.")
+    Term.(const run $ config_arg $ method_ $ bug $ runs $ len $ seed)
+
+(* ---- sepe prove ----------------------------------------------------------- *)
+
+let prove_cmd =
+  let method_ =
+    Arg.(
+      value & opt string "sqed"
+      & info [ "m"; "method" ] ~doc:"QED model: sepe or sqed.")
+  in
+  let bug =
+    Arg.(
+      value & opt (some bug_conv) None
+      & info [ "bug" ] ~docv:"BUG" ~doc:"Mutation to inject.")
+  in
+  let max_k = Arg.(value & opt int 4 & info [ "max-k" ] ~doc:"Induction depth limit.") in
+  let budget =
+    Arg.(value & opt float 600.0 & info [ "budget" ] ~doc:"Time budget (seconds).")
+  in
+  let run cfg method_ bug max_k budget =
+    let model =
+      match method_ with
+      | "sqed" -> Sqed_qed.Qed_top.eddi ?bug cfg
+      | _ -> Sqed_qed.Qed_top.edsep ?bug cfg
+    in
+    let outcome, stats =
+      Sqed_bmc.Engine.prove ~max_k ~time_budget:budget model
+    in
+    (match outcome with
+    | Sqed_bmc.Engine.Proved k ->
+        Printf.printf "PROVED: the property is %d-inductive (holds at every depth).\n" k
+    | Sqed_bmc.Engine.Base_cex t ->
+        Printf.printf "COUNTEREXAMPLE in the base case:\n%s\n"
+          (Sqed_bmc.Trace.to_string t)
+    | Sqed_bmc.Engine.Not_inductive k ->
+        Printf.printf
+          "inconclusive: not inductive up to k=%d (the property likely needs \
+           auxiliary invariants).\n"
+          k
+    | Sqed_bmc.Engine.Proof_gave_up k ->
+        Printf.printf "gave up at k=%d (budget).\n" k);
+    Printf.printf "%.1fs, %d solver queries\n"
+      stats.Sqed_bmc.Engine.solve_time stats.Sqed_bmc.Engine.bounds_checked
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Attempt an unbounded k-induction proof of the QED property.")
+    Term.(const run $ config_arg $ method_ $ bug $ max_k $ budget)
+
+(* ---- sepe solve ---------------------------------------------------------- *)
+
+let solve_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A .smt2 (QF_BV) or .cnf (DIMACS) file.")
+  in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-conflicts" ] ~doc:"Conflict budget before giving up.")
+  in
+  let run file budget =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    if Filename.check_suffix file ".cnf" then
+      match Sqed_sat.Dimacs.parse text with
+      | Error e ->
+          Printf.eprintf "parse error: %s\n" e;
+          exit 1
+      | Ok cnf -> (
+          match Sqed_sat.Dimacs.solve cnf with
+          | Sqed_sat.Sat.Sat, Some model ->
+              print_endline "sat";
+              Array.iteri
+                (fun i v ->
+                  Printf.printf "%d " (if v then i + 1 else -(i + 1)))
+                model;
+              print_newline ()
+          | Sqed_sat.Sat.Unsat, _ -> print_endline "unsat"
+          | _ -> print_endline "unknown")
+    else
+      match Sqed_smt.Smtlib_parser.solve_script ?max_conflicts:budget text with
+      | Error e ->
+          Printf.eprintf "parse error: %s\n" e;
+          exit 1
+      | Ok (result, model) -> (
+          match result with
+          | Sqed_smt.Solver.Sat ->
+              print_endline "sat";
+              List.iter
+                (fun (name, v) ->
+                  Printf.printf "  %s = %s\n" name (Sqed_bv.Bv.to_string v))
+                model
+          | Sqed_smt.Solver.Unsat -> print_endline "unsat"
+          | Sqed_smt.Solver.Unknown -> print_endline "unknown")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run the built-in solvers on an SMT-LIB (QF_BV) or DIMACS file.")
+    Term.(const run $ file $ budget)
+
+(* ---- sepe doctor ----------------------------------------------------------- *)
+
+let doctor_cmd =
+  let run () =
+    let check name f =
+      Printf.printf "%-52s %!" (name ^ " ...");
+      match f () with
+      | Ok () -> print_endline "ok"
+      | Error e ->
+          print_endline ("FAILED: " ^ e);
+          exit 1
+    in
+    let cfg = Config.tiny in
+    check "equivalence table vs golden interpreter" (fun () ->
+        let p = Sqed_qed.Partition.make Sqed_qed.Partition.Edsep cfg in
+        Sqed_qed.Equiv_table.validate ~cfg ~partition:p
+          (Sqed_qed.Equiv_table.builtin ~xlen:cfg.Config.xlen
+             ~n_temp:p.Sqed_qed.Partition.n_temp));
+    check "concrete QED campaign stays clean (no bug)" (fun () ->
+        let c =
+          Sqed_qed.Qed_sim.campaign ~scheme:Sqed_qed.Partition.Edsep ~seed:1
+            ~runs:10 ~program_length:3 cfg
+        in
+        if c.Sqed_qed.Qed_sim.detections = 0 then Ok ()
+        else Error "false positive in the unmutated design");
+    check "BTOR2 export validates" (fun () ->
+        let model = Sqed_qed.Qed_top.edsep cfg in
+        Sqed_rtl.Btor2.validate
+          (Sqed_rtl.Btor2.to_string model.Sqed_qed.Qed_top.circuit));
+    check "BMC detects an injected bug (SEPE-SQED)" (fun () ->
+        let r =
+          V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
+            ~time_budget:300.0 cfg
+        in
+        if V.detected r then Ok () else Error "no counterexample found");
+    check "counterexample replays on the simulator" (fun () ->
+        let r =
+          V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
+            ~time_budget:300.0 cfg
+        in
+        match V.trace r with
+        | Some t ->
+            let model = Sqed_qed.Qed_top.edsep ~bug:Bug.Bug_add cfg in
+            if Sqed_bmc.Engine.replay model t then Ok ()
+            else Error "witness did not replay"
+        | None -> Error "no trace");
+    check "SQED stays blind to the same bug" (fun () ->
+        let r =
+          V.run ~bug:Bug.Bug_add ~method_:V.Sqed ~bound:8 ~time_budget:300.0
+            cfg
+        in
+        if V.detected r then Error "EDDI-V detected a uniform bug" else Ok ());
+    print_endline "all checks passed."
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Self-check the whole stack on the smallest configuration.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "sepe" ~version:"1.0"
+       ~doc:
+         "SEPE-SQED: symbolic quick error detection by semantically \
+          equivalent program execution (DAC 2024 reproduction).")
+    [
+      bugs_cmd; synth_cmd; table_cmd; verify_cmd; export_cmd; sim_cmd;
+      campaign_cmd; solve_cmd; prove_cmd; doctor_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

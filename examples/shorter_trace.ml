@@ -1,0 +1,46 @@
+(* Multiple-instruction bugs (Fig. 4): both methods detect them, and the
+   richer instruction mix of EDSEP-V sometimes yields a *shorter*
+   counterexample, because the bug-triggering dependency pattern already
+   occurs inside a single equivalent sequence.
+
+   Run with:  dune exec examples/shorter_trace.exe *)
+
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+module V = Sepe_sqed.Verifier
+module Trace = Sqed_bmc.Trace
+
+let describe r =
+  match V.trace r with
+  | Some t ->
+      Printf.printf
+        "  found at depth %d: %d instructions dispatched (%d originals), %.1fs\n"
+        t.Trace.length t.Trace.instructions t.Trace.originals
+        r.V.stats.Sqed_bmc.Engine.solve_time
+  | None -> Printf.printf "  %s\n" (V.outcome_to_string r)
+
+let () =
+  let cfg = Config.tiny in
+  let bug = Bug.Bug_fwd_mem_rs1 in
+  Printf.printf "injected bug: %s (%s)\n" (Bug.name bug) (Bug.describe bug);
+  Printf.printf "core: %s\n\n" (Config.to_string cfg);
+
+  print_endline "--- SQED ---";
+  let sqed = V.run ~bug ~method_:V.Sqed ~bound:12 ~time_budget:900.0 cfg in
+  describe sqed;
+
+  print_endline "--- SEPE-SQED ---";
+  let sepe = V.run ~bug ~method_:V.Sepe_sqed ~bound:12 ~time_budget:900.0 cfg in
+  describe sepe;
+
+  match (V.trace sqed, V.trace sepe) with
+  | Some a, Some b ->
+      Printf.printf
+        "\ntrace-length ratio SQED/SEPE-SQED: %.2f  (paper Fig. 4's yellow curve)\n"
+        (Float.of_int a.Trace.length /. Float.of_int b.Trace.length);
+      if b.Trace.originals < a.Trace.originals then
+        print_endline
+          "SEPE-SQED needed fewer original instructions: the forwarding\n\
+           pattern that fires the bug already occurs inside one equivalent\n\
+           sequence."
+  | _ -> ()

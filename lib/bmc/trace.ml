@@ -1,0 +1,62 @@
+module Bv = Sqed_bv.Bv
+module Insn = Sqed_isa.Insn
+
+type step = {
+  cycle : int;
+  orig_instr : Insn.t option;
+  core_instr : Insn.t option;
+  is_orig : bool;
+  stall : bool;
+  qed_ready : bool;
+  consistent : bool;
+  raw_inputs : (string * Bv.t) list;
+}
+
+type t = {
+  steps : step list;
+  length : int;
+  instructions : int;
+  originals : int;
+  final_regs : (int * Bv.t) list;
+  initial_state : (string * Bv.t) list;
+}
+
+let step_to_string s =
+  let insn_str = function
+    | Some i -> Insn.to_string i
+    | None -> "-"
+  in
+  Printf.sprintf "  %2d | %-22s | %-22s %s%s%s" s.cycle
+    (insn_str s.orig_instr)
+    (insn_str s.core_instr)
+    (if s.core_instr <> None then if s.is_orig then "[orig] " else "[equiv]"
+     else "       ")
+    (if s.stall then " stall" else "")
+    (if s.qed_ready then
+       if s.consistent then " READY(consistent)" else " READY(INCONSISTENT)"
+     else "")
+
+let to_string t =
+  let header =
+    Printf.sprintf
+      "counterexample: %d cycles, %d instructions (%d originals)\n\
+      \  cy | original accepted      | dispatched to core" t.length
+      t.instructions t.originals
+  in
+  let regs =
+    "  final registers: "
+    ^ String.concat ", "
+        (List.filter_map
+           (fun (i, v) ->
+             if Bv.is_zero v then None
+             else Some (Printf.sprintf "x%d=%s" i (Bv.to_string v)))
+           t.final_regs)
+  in
+  String.concat "\n" ((header :: List.map step_to_string t.steps) @ [ regs ])
+
+let waveform t =
+  let w = Sqed_rtl.Waveform.create () in
+  List.iter (fun s -> Sqed_rtl.Waveform.record w s.raw_inputs) t.steps;
+  Sqed_rtl.Waveform.to_string w
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,35 @@
+(** Decoded counterexample traces. *)
+
+module Bv = Sqed_bv.Bv
+
+type step = {
+  cycle : int;
+  orig_instr : Sqed_isa.Insn.t option;
+      (** the original instruction presented (and accepted) this cycle *)
+  core_instr : Sqed_isa.Insn.t option;
+      (** what actually entered the pipeline *)
+  is_orig : bool;  (** original (true) or transformed dispatch *)
+  stall : bool;
+  qed_ready : bool;
+  consistent : bool;
+  raw_inputs : (string * Bv.t) list;
+      (** the exact circuit input valuation of this step, for replay *)
+}
+
+type t = {
+  steps : step list;
+  length : int;  (** cycles until the property violation *)
+  instructions : int;  (** instructions consumed by the core *)
+  originals : int;  (** original instructions among them *)
+  final_regs : (int * Bv.t) list;  (** register file when [bad] fired *)
+  initial_state : (string * Bv.t) list;
+      (** values of the symbolic initial-state variables in the witness *)
+}
+
+val to_string : t -> string
+
+val waveform : t -> string
+(** The counterexample's input stimulus rendered as an ASCII waveform
+    (one row per circuit input). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+(** Fixed-width bitvectors of arbitrary positive width.
+
+    Values are immutable and canonical: bits above [width] are always zero.
+    All binary operations require operands of equal width and raise
+    [Invalid_argument] otherwise.  Semantics follow SMT-LIB QF_BV (wraparound
+    arithmetic, [udiv x 0 = ones], [urem x 0 = x], shifts saturate when the
+    amount is at least the width). *)
+
+type t
+
+(** {1 Construction} *)
+
+val width : t -> int
+
+val zero : int -> t
+(** [zero w] is the all-zero vector of width [w]. *)
+
+val one : int -> t
+(** [one w] is the vector of width [w] with value 1. *)
+
+val ones : int -> t
+(** [ones w] is the all-one vector of width [w]. *)
+
+val min_signed : int -> t
+(** [min_signed w] has only the sign bit set. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates the two's-complement representation of [n]
+    to [width] bits. Negative [n] yields the expected wraparound value. *)
+
+val of_int64 : width:int -> int64 -> t
+
+val of_bool : bool -> t
+(** Width-1 vector: [true] is 1, [false] is 0. *)
+
+val of_binary_string : string -> t
+(** [of_binary_string "1010"] has width 4 and value 10.  Underscores are
+    ignored.  Raises [Invalid_argument] on empty or non-binary input. *)
+
+val of_hex_string : width:int -> string -> t
+
+val of_bits : bool array -> t
+(** Index 0 of the array is the least-significant bit. *)
+
+val random : Random.State.t -> int -> t
+(** [random st w] draws a uniformly random vector of width [w]. *)
+
+(** {1 Observation} *)
+
+val to_int : t -> int
+(** Unsigned value; raises [Failure] if it does not fit in a non-negative
+    OCaml [int]. *)
+
+val to_int_opt : t -> int option
+
+val to_signed_int : t -> int
+(** Two's-complement value; raises [Failure] if out of [int] range. *)
+
+val to_int64 : t -> int64
+(** Low 64 bits, zero-extended; raises [Failure] if width exceeds 64 and a
+    high bit is set. *)
+
+val get : t -> int -> bool
+(** [get v i] is bit [i] (LSB is bit 0). *)
+
+val msb : t -> bool
+val is_zero : t -> bool
+
+val popcount : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Unsigned order; widths compared first. *)
+
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val sdiv : t -> t -> t
+val srem : t -> t -> t
+
+(** {1 Bitwise logic} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Shifts} *)
+
+val shl : t -> int -> t
+val lshr : t -> int -> t
+val ashr : t -> int -> t
+
+val shl_bv : t -> t -> t
+(** Shift amount given as an (unsigned) bitvector of any width. *)
+
+val lshr_bv : t -> t -> t
+val ashr_bv : t -> t -> t
+
+(** {1 Comparisons} *)
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+val sle : t -> t -> bool
+
+(** {1 Structure} *)
+
+val extract : hi:int -> lo:int -> t -> t
+(** Inclusive bounds; result width is [hi - lo + 1]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]: [hi] occupies the most-significant bits. *)
+
+val zext : t -> int -> t
+(** [zext v w] zero-extends to width [w] (which must be >= width v). *)
+
+val sext : t -> int -> t
+
+val redor : t -> bool
+val redand : t -> bool
+
+(** {1 Printing} *)
+
+val to_binary_string : t -> string
+val to_hex_string : t -> string
+val to_string : t -> string
+(** Decimal (unsigned) with width suffix, e.g. ["42:8"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+module Config = Sqed_proc.Config
+module Synth = Sqed_synth
+module Qed = Sqed_qed
+
+type synthesized_case = {
+  case : string;
+  programs : Synth.Program.t list;
+  chosen : Synth.Program.t option;
+  elapsed : float;
+}
+
+let builtin_table cfg =
+  let p = Qed.Partition.make Qed.Partition.Edsep cfg in
+  Qed.Equiv_table.builtin ~xlen:cfg.Config.xlen ~n_temp:p.Qed.Partition.n_temp
+
+let key_of_case case =
+  match
+    List.find_opt
+      (fun op -> Sqed_isa.Insn.rop_name op = case)
+      Sqed_isa.Insn.all_rops
+  with
+  | Some op -> Qed.Equiv_table.Kr op
+  | None -> (
+      match
+        List.find_opt
+          (fun op -> Sqed_isa.Insn.iop_name op = case)
+          Sqed_isa.Insn.all_iops
+      with
+      | Some op -> Qed.Equiv_table.Ki op
+      | None -> invalid_arg ("Flow.key_of_case: " ^ case))
+
+(* A usable table entry writes its E destination once, fits the partition's
+   temporaries, and is not a same-name single line. *)
+let usable partition spec_name p =
+  Synth.Program.temps_needed p <= partition.Qed.Partition.n_temp
+  && (Synth.Program.n_components p > 1
+     ||
+     match Synth.Program.components p with
+     | [ c ] -> c.Synth.Component.name <> spec_name
+     | _ -> true)
+
+let choose partition spec_name programs =
+  let candidates = List.filter (usable partition spec_name) programs in
+  let better a b =
+    compare
+      (Synth.Program.n_insns a, Synth.Program.n_components a)
+      (Synth.Program.n_insns b, Synth.Program.n_components b)
+  in
+  match List.sort better candidates with p :: _ -> Some p | [] -> None
+
+let synthesize_table ?options ?cases cfg =
+  let options =
+    match options with
+    | Some o ->
+        { o with Synth.Engine.config = { o.Synth.Engine.config with Synth.Cegis.xlen = cfg.Config.xlen } }
+    | None ->
+        {
+          Synth.Engine.default_options with
+          Synth.Engine.config =
+            { Synth.Cegis.default_config with Synth.Cegis.xlen = cfg.Config.xlen };
+        }
+  in
+  let cases =
+    match cases with
+    | Some cs -> cs
+    | None -> List.map (fun s -> s.Synth.Component.g_name) Synth.Library_.specs
+  in
+  let partition = Qed.Partition.make Qed.Partition.Edsep cfg in
+  let results =
+    List.map
+      (fun case ->
+        let spec = Synth.Library_.spec case in
+        let r =
+          Synth.Hpf.synthesize ~options ~spec ~library:Synth.Library_.default ()
+        in
+        let programs = r.Synth.Engine.programs in
+        {
+          case;
+          programs;
+          chosen = choose partition case programs;
+          elapsed = r.Synth.Engine.elapsed;
+        })
+      cases
+  in
+  let entries =
+    List.filter_map
+      (fun r ->
+        match r.chosen with
+        | Some p -> Some (key_of_case r.case, p)
+        | None -> None)
+      results
+  in
+  let table =
+    Qed.Equiv_table.of_synthesis entries ~fallback:(builtin_table cfg)
+  in
+  (* Independent cross-check against the golden interpreter before the
+     table reaches the verifier; a conversion bug here would silently
+     weaken the method. *)
+  (match Qed.Equiv_table.validate ~cfg ~partition table with
+  | Ok () -> ()
+  | Error e -> failwith ("Flow.synthesize_table: invalid table: " ^ e));
+  (table, results)

@@ -1,0 +1,25 @@
+(** The end-to-end SEPE-SQED flow of Fig. 1: synthesize semantically
+    equivalent programs with HPF-CEGIS (upper half), build the EDSEP-V
+    equivalence table from them, then verify the DUV (lower half). *)
+
+module Config = Sqed_proc.Config
+
+type synthesized_case = {
+  case : string;  (** the original instruction's mnemonic *)
+  programs : Sqed_synth.Program.t list;
+  chosen : Sqed_synth.Program.t option;
+      (** program installed in the table (shortest that fits the
+          partition's temporaries, avoiding same-name single lines) *)
+  elapsed : float;
+}
+
+val synthesize_table :
+  ?options:Sqed_synth.Engine.options ->
+  ?cases:string list ->
+  Config.t ->
+  Sqed_qed.Equiv_table.t * synthesized_case list
+(** Run HPF-CEGIS per case at the configuration's XLEN and fold the
+    results into an equivalence table (classes without a usable
+    synthesized program keep their built-in template). *)
+
+val builtin_table : Config.t -> Sqed_qed.Equiv_table.t

@@ -1,0 +1,144 @@
+module Bv = Sqed_bv.Bv
+
+(* Major opcodes of the supported formats. *)
+let op_rtype = 0b0110011
+let op_itype = 0b0010011
+let op_lui = 0b0110111
+let op_load = 0b0000011
+let op_store = 0b0100011
+
+let rop_functs = function
+  | Insn.ADD -> (0b000, 0b0000000)
+  | Insn.SUB -> (0b000, 0b0100000)
+  | Insn.SLL -> (0b001, 0b0000000)
+  | Insn.SLT -> (0b010, 0b0000000)
+  | Insn.SLTU -> (0b011, 0b0000000)
+  | Insn.XOR -> (0b100, 0b0000000)
+  | Insn.SRL -> (0b101, 0b0000000)
+  | Insn.SRA -> (0b101, 0b0100000)
+  | Insn.OR -> (0b110, 0b0000000)
+  | Insn.AND -> (0b111, 0b0000000)
+  | Insn.MUL -> (0b000, 0b0000001)
+  | Insn.MULH -> (0b001, 0b0000001)
+  | Insn.MULHU -> (0b011, 0b0000001)
+  | Insn.DIV -> (0b100, 0b0000001)
+  | Insn.DIVU -> (0b101, 0b0000001)
+  | Insn.REM -> (0b110, 0b0000001)
+  | Insn.REMU -> (0b111, 0b0000001)
+
+let iop_funct3 = function
+  | Insn.ADDI -> 0b000
+  | Insn.SLTI -> 0b010
+  | Insn.SLTIU -> 0b011
+  | Insn.XORI -> 0b100
+  | Insn.ORI -> 0b110
+  | Insn.ANDI -> 0b111
+  | Insn.SLLI -> 0b001
+  | Insn.SRLI -> 0b101
+  | Insn.SRAI -> 0b101
+
+let word fields =
+  (* fields: (value, width) from most-significant to least-significant. *)
+  let v, w =
+    List.fold_left
+      (fun (acc, accw) (v, w) -> ((acc lsl w) lor (v land ((1 lsl w) - 1)), accw + w))
+      (0, 0) fields
+  in
+  assert (w = 32);
+  Bv.of_int ~width:32 v
+
+let encode insn =
+  if not (Insn.valid insn) then
+    invalid_arg ("Encode.encode: invalid instruction " ^ Insn.to_string insn);
+  match insn with
+  | Insn.R (op, rd, rs1, rs2) ->
+      let f3, f7 = rop_functs op in
+      word [ (f7, 7); (rs2, 5); (rs1, 5); (f3, 3); (rd, 5); (op_rtype, 7) ]
+  | Insn.I (op, rd, rs1, imm) ->
+      let f3 = iop_funct3 op in
+      let imm12 =
+        match op with
+        | Insn.SLLI | Insn.SRLI -> imm
+        | Insn.SRAI -> 0b0100000 lsl 5 lor imm
+        | _ -> imm
+      in
+      word [ (imm12, 12); (rs1, 5); (f3, 3); (rd, 5); (op_itype, 7) ]
+  | Insn.Lui (rd, imm) -> word [ (imm, 20); (rd, 5); (op_lui, 7) ]
+  | Insn.Lw (rd, rs1, imm) ->
+      word [ (imm, 12); (rs1, 5); (0b010, 3); (rd, 5); (op_load, 7) ]
+  | Insn.Sw (rs2, rs1, imm) ->
+      word
+        [
+          ((imm asr 5) land 0x7F, 7);
+          (rs2, 5);
+          (rs1, 5);
+          (0b010, 3);
+          (imm land 0x1F, 5);
+          (op_store, 7);
+        ]
+
+let field bv ~hi ~lo = Bv.to_int (Bv.extract ~hi ~lo bv)
+
+let opcode_field bv = field bv ~hi:6 ~lo:0
+let funct3_field bv = field bv ~hi:14 ~lo:12
+let funct7_field bv = field bv ~hi:31 ~lo:25
+let rd_field bv = field bv ~hi:11 ~lo:7
+let rs1_field bv = field bv ~hi:19 ~lo:15
+let rs2_field bv = field bv ~hi:24 ~lo:20
+
+let sext12 v = if v land 0x800 <> 0 then v - 4096 else v
+
+let imm_i_field bv = sext12 (field bv ~hi:31 ~lo:20)
+
+let imm_s_field bv =
+  sext12 ((field bv ~hi:31 ~lo:25 lsl 5) lor field bv ~hi:11 ~lo:7)
+
+let decode bv =
+  if Bv.width bv <> 32 then invalid_arg "Encode.decode: width <> 32";
+  let opcode = opcode_field bv in
+  let f3 = funct3_field bv in
+  let f7 = funct7_field bv in
+  let rd = rd_field bv and rs1 = rs1_field bv and rs2 = rs2_field bv in
+  if opcode = op_rtype then
+    let op =
+      match (f3, f7) with
+      | 0b000, 0b0000000 -> Some Insn.ADD
+      | 0b000, 0b0100000 -> Some Insn.SUB
+      | 0b001, 0b0000000 -> Some Insn.SLL
+      | 0b010, 0b0000000 -> Some Insn.SLT
+      | 0b011, 0b0000000 -> Some Insn.SLTU
+      | 0b100, 0b0000000 -> Some Insn.XOR
+      | 0b101, 0b0000000 -> Some Insn.SRL
+      | 0b101, 0b0100000 -> Some Insn.SRA
+      | 0b110, 0b0000000 -> Some Insn.OR
+      | 0b111, 0b0000000 -> Some Insn.AND
+      | 0b000, 0b0000001 -> Some Insn.MUL
+      | 0b001, 0b0000001 -> Some Insn.MULH
+      | 0b011, 0b0000001 -> Some Insn.MULHU
+      | 0b100, 0b0000001 -> Some Insn.DIV
+      | 0b101, 0b0000001 -> Some Insn.DIVU
+      | 0b110, 0b0000001 -> Some Insn.REM
+      | 0b111, 0b0000001 -> Some Insn.REMU
+      | _ -> None
+    in
+    Option.map (fun op -> Insn.R (op, rd, rs1, rs2)) op
+  else if opcode = op_itype then
+    match f3 with
+    | 0b000 -> Some (Insn.I (Insn.ADDI, rd, rs1, imm_i_field bv))
+    | 0b010 -> Some (Insn.I (Insn.SLTI, rd, rs1, imm_i_field bv))
+    | 0b011 -> Some (Insn.I (Insn.SLTIU, rd, rs1, imm_i_field bv))
+    | 0b100 -> Some (Insn.I (Insn.XORI, rd, rs1, imm_i_field bv))
+    | 0b110 -> Some (Insn.I (Insn.ORI, rd, rs1, imm_i_field bv))
+    | 0b111 -> Some (Insn.I (Insn.ANDI, rd, rs1, imm_i_field bv))
+    | 0b001 -> if f7 = 0 then Some (Insn.I (Insn.SLLI, rd, rs1, rs2)) else None
+    | 0b101 ->
+        if f7 = 0 then Some (Insn.I (Insn.SRLI, rd, rs1, rs2))
+        else if f7 = 0b0100000 then Some (Insn.I (Insn.SRAI, rd, rs1, rs2))
+        else None
+    | _ -> None
+  else if opcode = op_lui then Some (Insn.Lui (rd, field bv ~hi:31 ~lo:12))
+  else if opcode = op_load && f3 = 0b010 then
+    Some (Insn.Lw (rd, rs1, imm_i_field bv))
+  else if opcode = op_store && f3 = 0b010 then
+    Some (Insn.Sw (rs2, rs1, imm_s_field bv))
+  else None

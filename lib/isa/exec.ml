@@ -1,0 +1,103 @@
+module Bv = Sqed_bv.Bv
+
+type t = { xlen : int; regs : Bv.t array; mem : Bv.t array }
+
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
+  go 0
+
+let create ~xlen ~mem_words =
+  if log2_exact xlen < 0 then invalid_arg "Exec.create: xlen not a power of two";
+  if log2_exact mem_words < 0 then
+    invalid_arg "Exec.create: mem_words not a power of two";
+  {
+    xlen;
+    regs = Array.make 32 (Bv.zero xlen);
+    mem = Array.make mem_words (Bv.zero xlen);
+  }
+
+let copy t = { t with regs = Array.copy t.regs; mem = Array.copy t.mem }
+
+let reg t i = if i = 0 then Bv.zero t.xlen else t.regs.(i)
+
+let set_reg t i v =
+  if i <> 0 then begin
+    if Bv.width v <> t.xlen then invalid_arg "Exec.set_reg: width";
+    t.regs.(i) <- v
+  end
+
+let word_index t addr =
+  let abits = log2_exact (Array.length t.mem) in
+  if abits = 0 then 0 else Bv.to_int (Bv.extract ~hi:(abits - 1) ~lo:0 addr)
+
+let load t addr = t.mem.(word_index t addr)
+let store t addr v = t.mem.(word_index t addr) <- v
+
+let imm_bv ~xlen imm = Bv.of_int ~width:xlen imm
+
+let shamt_mask ~xlen v =
+  (* RISC-V semantics: only the low log2(xlen) bits of the amount count. *)
+  let bits = log2_exact xlen in
+  if bits = 0 then Bv.zero xlen else Bv.zext (Bv.extract ~hi:(bits - 1) ~lo:0 v) xlen
+
+let bool_res ~xlen b = if b then Bv.one xlen else Bv.zero xlen
+
+let mul_high ~xlen ~signed_a ~signed_b a b =
+  let w2 = 2 * xlen in
+  let ea = if signed_a then Bv.sext a w2 else Bv.zext a w2 in
+  let eb = if signed_b then Bv.sext b w2 else Bv.zext b w2 in
+  Bv.extract ~hi:(w2 - 1) ~lo:xlen (Bv.mul ea eb)
+
+let alu_r ~xlen op a b =
+  match op with
+  | Insn.ADD -> Bv.add a b
+  | Insn.SUB -> Bv.sub a b
+  | Insn.SLL -> Bv.shl_bv a (shamt_mask ~xlen b)
+  | Insn.SLT -> bool_res ~xlen (Bv.slt a b)
+  | Insn.SLTU -> bool_res ~xlen (Bv.ult a b)
+  | Insn.XOR -> Bv.logxor a b
+  | Insn.SRL -> Bv.lshr_bv a (shamt_mask ~xlen b)
+  | Insn.SRA -> Bv.ashr_bv a (shamt_mask ~xlen b)
+  | Insn.OR -> Bv.logor a b
+  | Insn.AND -> Bv.logand a b
+  | Insn.MUL -> Bv.mul a b
+  | Insn.MULH -> mul_high ~xlen ~signed_a:true ~signed_b:true a b
+  | Insn.MULHU -> mul_high ~xlen ~signed_a:false ~signed_b:false a b
+  (* RISC-V M semantics: x/0 = all-ones (signed: -1), x%0 = x; the signed
+     overflow case MIN/-1 gives MIN with remainder 0 (Bv.sdiv/srem already
+     wrap that way). *)
+  | Insn.DIV -> if Bv.is_zero b then Bv.ones xlen else Bv.sdiv a b
+  | Insn.DIVU -> Bv.udiv a b
+  | Insn.REM -> Bv.srem a b
+  | Insn.REMU -> Bv.urem a b
+
+let alu_i ~xlen op a imm =
+  let iv = imm_bv ~xlen imm in
+  match op with
+  | Insn.ADDI -> Bv.add a iv
+  | Insn.SLTI -> bool_res ~xlen (Bv.slt a iv)
+  | Insn.SLTIU -> bool_res ~xlen (Bv.ult a iv)
+  | Insn.XORI -> Bv.logxor a iv
+  | Insn.ORI -> Bv.logor a iv
+  | Insn.ANDI -> Bv.logand a iv
+  | Insn.SLLI -> Bv.shl_bv a (shamt_mask ~xlen iv)
+  | Insn.SRLI -> Bv.lshr_bv a (shamt_mask ~xlen iv)
+  | Insn.SRAI -> Bv.ashr_bv a (shamt_mask ~xlen iv)
+
+let exec t insn =
+  let xlen = t.xlen in
+  match insn with
+  | Insn.R (op, rd, rs1, rs2) -> set_reg t rd (alu_r ~xlen op (reg t rs1) (reg t rs2))
+  | Insn.I (op, rd, rs1, imm) -> set_reg t rd (alu_i ~xlen op (reg t rs1) imm)
+  | Insn.Lui (rd, imm) -> set_reg t rd (Bv.of_int ~width:xlen (imm lsl 12))
+  | Insn.Lw (rd, rs1, imm) ->
+      set_reg t rd (load t (Bv.add (reg t rs1) (imm_bv ~xlen imm)))
+  | Insn.Sw (rs2, rs1, imm) ->
+      store t (Bv.add (reg t rs1) (imm_bv ~xlen imm)) (reg t rs2)
+
+let run t insns = List.iter (exec t) insns
+
+let equal a b =
+  a.xlen = b.xlen
+  && Array.for_all2 Bv.equal a.regs b.regs
+  && Array.for_all2 Bv.equal a.mem b.mem

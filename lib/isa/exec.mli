@@ -1,0 +1,38 @@
+(** Concrete architectural interpreter (golden reference model).
+
+    State is parameterised by XLEN and by the word count of the toy
+    word-addressed data memory (effective addresses are taken modulo the
+    memory size, matching the pipeline substrate). *)
+
+module Bv = Sqed_bv.Bv
+
+type t = {
+  xlen : int;
+  regs : Bv.t array;  (** 32 entries; index 0 is hardwired to zero. *)
+  mem : Bv.t array;
+}
+
+val create : xlen:int -> mem_words:int -> t
+(** All-zero initial state. *)
+
+val copy : t -> t
+val reg : t -> int -> Bv.t
+val set_reg : t -> int -> Bv.t -> unit
+(** Writes to x0 are discarded. *)
+
+val load : t -> Bv.t -> Bv.t
+(** Word read at an effective address (wrapped into the memory). *)
+
+val store : t -> Bv.t -> Bv.t -> unit
+
+val exec : t -> Insn.t -> unit
+(** Execute one instruction in place. *)
+
+val run : t -> Insn.t list -> unit
+
+val equal : t -> t -> bool
+
+val alu_r : xlen:int -> Insn.rop -> Bv.t -> Bv.t -> Bv.t
+(** Pure R-type ALU semantics (also used by tests as an oracle). *)
+
+val alu_i : xlen:int -> Insn.iop -> Bv.t -> int -> Bv.t

@@ -1,0 +1,153 @@
+type rop =
+  | ADD
+  | SUB
+  | SLL
+  | SLT
+  | SLTU
+  | XOR
+  | SRL
+  | SRA
+  | OR
+  | AND
+  | MUL
+  | MULH
+  | MULHU
+  | DIV
+  | DIVU
+  | REM
+  | REMU
+
+type iop = ADDI | SLTI | SLTIU | XORI | ORI | ANDI | SLLI | SRLI | SRAI
+
+type t =
+  | R of rop * int * int * int
+  | I of iop * int * int * int
+  | Lui of int * int
+  | Lw of int * int * int
+  | Sw of int * int * int
+
+let all_rops =
+  [
+    ADD; SUB; SLL; SLT; SLTU; XOR; SRL; SRA; OR; AND; MUL; MULH; MULHU; DIV;
+    DIVU; REM; REMU;
+  ]
+
+let rop_is_mul = function
+  | MUL | MULH | MULHU -> true
+  | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND | DIV | DIVU
+  | REM | REMU ->
+      false
+
+let rop_is_div = function
+  | DIV | DIVU | REM | REMU -> true
+  | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND | MUL | MULH
+  | MULHU ->
+      false
+
+let all_iops = [ ADDI; SLTI; SLTIU; XORI; ORI; ANDI; SLLI; SRLI; SRAI ]
+
+let rop_name = function
+  | ADD -> "ADD"
+  | SUB -> "SUB"
+  | SLL -> "SLL"
+  | SLT -> "SLT"
+  | SLTU -> "SLTU"
+  | XOR -> "XOR"
+  | SRL -> "SRL"
+  | SRA -> "SRA"
+  | OR -> "OR"
+  | AND -> "AND"
+  | MUL -> "MUL"
+  | MULH -> "MULH"
+  | MULHU -> "MULHU"
+  | DIV -> "DIV"
+  | DIVU -> "DIVU"
+  | REM -> "REM"
+  | REMU -> "REMU"
+
+let iop_name = function
+  | ADDI -> "ADDI"
+  | SLTI -> "SLTI"
+  | SLTIU -> "SLTIU"
+  | XORI -> "XORI"
+  | ORI -> "ORI"
+  | ANDI -> "ANDI"
+  | SLLI -> "SLLI"
+  | SRLI -> "SRLI"
+  | SRAI -> "SRAI"
+
+let name = function
+  | R (op, _, _, _) -> rop_name op
+  | I (op, _, _, _) -> iop_name op
+  | Lui _ -> "LUI"
+  | Lw _ -> "LW"
+  | Sw _ -> "SW"
+
+let rd = function
+  | R (_, rd, _, _) | I (_, rd, _, _) | Lui (rd, _) | Lw (rd, _, _) -> Some rd
+  | Sw _ -> None
+
+let sources = function
+  | R (_, _, rs1, rs2) -> [ rs1; rs2 ]
+  | I (_, _, rs1, _) | Lw (_, rs1, _) -> [ rs1 ]
+  | Lui _ -> []
+  | Sw (rs2, rs1, _) -> [ rs1; rs2 ]
+
+let is_load = function Lw _ -> true | R _ | I _ | Lui _ | Sw _ -> false
+let is_store = function Sw _ -> true | R _ | I _ | Lui _ | Lw _ -> false
+
+let is_shift_iop = function
+  | SLLI | SRLI | SRAI -> true
+  | ADDI | SLTI | SLTIU | XORI | ORI | ANDI -> false
+
+let reg_ok r = r >= 0 && r < 32
+let imm12_ok imm = imm >= -2048 && imm <= 2047
+let shamt_ok s = s >= 0 && s <= 31
+
+let valid = function
+  | R (_, rd, rs1, rs2) -> reg_ok rd && reg_ok rs1 && reg_ok rs2
+  | I (op, rd, rs1, imm) ->
+      reg_ok rd && reg_ok rs1
+      && (if is_shift_iop op then shamt_ok imm else imm12_ok imm)
+  | Lui (rd, imm) -> reg_ok rd && imm >= 0 && imm <= 0xFFFFF
+  | Lw (rd, rs1, imm) -> reg_ok rd && reg_ok rs1 && imm12_ok imm
+  | Sw (rs2, rs1, imm) -> reg_ok rs2 && reg_ok rs1 && imm12_ok imm
+
+let map_regs f = function
+  | R (op, rd, rs1, rs2) -> R (op, f rd, f rs1, f rs2)
+  | I (op, rd, rs1, imm) -> I (op, f rd, f rs1, imm)
+  | Lui (rd, imm) -> Lui (f rd, imm)
+  | Lw (rd, rs1, imm) -> Lw (f rd, f rs1, imm)
+  | Sw (rs2, rs1, imm) -> Sw (f rs2, f rs1, imm)
+
+let nop = I (ADDI, 0, 0, 0)
+
+let to_string = function
+  | R (op, rd, rs1, rs2) ->
+      Printf.sprintf "%s x%d, x%d, x%d" (rop_name op) rd rs1 rs2
+  | I (op, rd, rs1, imm) ->
+      Printf.sprintf "%s x%d, x%d, %d" (iop_name op) rd rs1 imm
+  | Lui (rd, imm) -> Printf.sprintf "LUI x%d, 0x%x" rd imm
+  | Lw (rd, rs1, imm) -> Printf.sprintf "LW x%d, %d(x%d)" rd imm rs1
+  | Sw (rs2, rs1, imm) -> Printf.sprintf "SW x%d, %d(x%d)" rs2 imm rs1
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal = ( = )
+let compare = Stdlib.compare
+
+let random rng ~max_reg =
+  let reg () = Random.State.int rng max_reg in
+  match Random.State.int rng 5 with
+  | 0 ->
+      let op = List.nth all_rops (Random.State.int rng (List.length all_rops)) in
+      R (op, reg (), reg (), reg ())
+  | 1 ->
+      let op = List.nth all_iops (Random.State.int rng (List.length all_iops)) in
+      let imm =
+        if is_shift_iop op then Random.State.int rng 32
+        else Random.State.int rng 4096 - 2048
+      in
+      I (op, reg (), reg (), imm)
+  | 2 -> Lui (reg (), Random.State.int rng 0x100000)
+  | 3 -> Lw (reg (), reg (), Random.State.int rng 4096 - 2048)
+  | _ -> Sw (reg (), reg (), Random.State.int rng 4096 - 2048)

@@ -1,0 +1,83 @@
+(** The RV32IM subset used throughout the reproduction (the paper: "a
+    portion of the RV32IM instruction set").
+
+    Covered: the ten RV32I register-register ALU instructions, the three
+    RV32M multiply instructions, the nine I-type ALU instructions, [LUI],
+    and word load/store.  Control flow is excluded, as in SQED-style
+    verification, where instructions are injected symbolically and the PC
+    plays no architectural role. *)
+
+type rop =
+  | ADD
+  | SUB
+  | SLL
+  | SLT
+  | SLTU
+  | XOR
+  | SRL
+  | SRA
+  | OR
+  | AND
+  | MUL
+  | MULH
+  | MULHU
+  | DIV
+  | DIVU
+  | REM
+  | REMU
+
+type iop = ADDI | SLTI | SLTIU | XORI | ORI | ANDI | SLLI | SRLI | SRAI
+
+type t =
+  | R of rop * int * int * int  (** [R (op, rd, rs1, rs2)] *)
+  | I of iop * int * int * int
+      (** [I (op, rd, rs1, imm)]; [imm] is the signed 12-bit immediate in
+          [-2048, 2047], or the shift amount in [0, 31] for SLLI/SRLI/SRAI. *)
+  | Lui of int * int  (** [Lui (rd, imm20)] with [imm20] in [0, 0xFFFFF]. *)
+  | Lw of int * int * int  (** [Lw (rd, rs1, imm)]: rd <- mem[rs1 + imm]. *)
+  | Sw of int * int * int  (** [Sw (rs2, rs1, imm)]: mem[rs1 + imm] <- rs2. *)
+
+val all_rops : rop list
+val all_iops : iop list
+
+val rop_name : rop -> string
+val iop_name : iop -> string
+
+val rop_is_mul : rop -> bool
+(** MUL / MULH / MULHU (the multiplier datapath). *)
+
+val rop_is_div : rop -> bool
+(** DIV / DIVU / REM / REMU (the divider datapath). *)
+
+val name : t -> string
+(** Mnemonic, e.g. ["ADD"]; used for the paper's [Name(...)] comparisons. *)
+
+val rd : t -> int option
+(** Destination register, if the instruction writes one ([Sw] does not;
+    writes to x0 still report x0). *)
+
+val sources : t -> int list
+(** Source registers read by the instruction. *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+
+val valid : t -> bool
+(** Register indices in [0, 31] and immediate fields within range. *)
+
+val map_regs : (int -> int) -> t -> t
+(** Apply a register renaming to all register operands. *)
+
+val nop : t
+(** [ADDI x0, x0, 0]. *)
+
+val to_string : t -> string
+(** Assembly-ish rendering, e.g. ["ADD x1, x2, x3"], ["LW x1, 4(x0)"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val random : Random.State.t -> max_reg:int -> t
+(** A uniformly random valid instruction with register operands below
+    [max_reg] (exclusive). *)

@@ -1,0 +1,123 @@
+module C = Sqed_rtl.Circuit
+
+type result = { value : C.signal; store_data : C.signal }
+
+let build ~b ?bug cfg ~op1 ~op2 ~imm ~alu_op ~is_r ~is_i ~is_store
+    ~store_fwd_active () =
+  let xlen = cfg.Config.xlen in
+  let has b' = bug = Some b' in
+  let ( &&& ) = C.and_ b in
+  let one_x = C.consti b ~width:xlen 1 in
+  let alu_b = C.mux b is_r op2 imm in
+  let lxlen = Config.log2 xlen in
+  let shamt_raw = C.extract b ~hi:(lxlen - 1) ~lo:0 alu_b in
+  let shamt_bits =
+    if has Bug.Bug_slli then
+      (* Only SLLI's decoded amount decays. *)
+      let is_slli =
+        is_i &&& C.eq b alu_op (C.consti b ~width:5 Decode.alu_sll)
+      in
+      C.mux b is_slli (C.xor b shamt_raw (C.consti b ~width:lxlen 1)) shamt_raw
+    else shamt_raw
+  in
+  let shamt = C.zext b shamt_bits xlen in
+  let opv v = C.eq b alu_op (C.consti b ~width:5 v) in
+  let results =
+    [
+      (Decode.alu_sub, C.sub b op1 alu_b);
+      (Decode.alu_sll, C.shl b op1 shamt);
+      (Decode.alu_slt, C.zext b (C.slt b op1 alu_b) xlen);
+      (Decode.alu_sltu, C.zext b (C.ult b op1 alu_b) xlen);
+      (Decode.alu_xor, C.xor b op1 alu_b);
+      (Decode.alu_srl, C.lshr b op1 shamt);
+      (Decode.alu_sra, C.ashr b op1 shamt);
+      (Decode.alu_or, C.or_ b op1 alu_b);
+      (Decode.alu_and, C.and_ b op1 alu_b);
+      (Decode.alu_cpyb, alu_b);
+    ]
+    @ (if cfg.Config.ext_m then begin
+         (* One shared unsigned 2w multiplier serves all three products:
+            MUL is the low half, MULHU the high half, and MULH the high
+            half with the standard signed correction
+            mulh(a,b) = mulhu(a,b) - (a<0 ? b : 0) - (b<0 ? a : 0). *)
+         let w2 = 2 * xlen in
+         let zero = C.consti b ~width:xlen 0 in
+         let p = C.mul b (C.zext b op1 w2) (C.zext b alu_b w2) in
+         let hi = C.extract b ~hi:(w2 - 1) ~lo:xlen p in
+         let corr =
+           C.add b
+             (C.mux b (C.slt b op1 zero) alu_b zero)
+             (C.mux b (C.slt b alu_b zero) op1 zero)
+         in
+         [
+           (Decode.alu_mul, C.extract b ~hi:(xlen - 1) ~lo:0 p);
+           (Decode.alu_mulh, C.sub b hi corr);
+           (Decode.alu_mulhu, hi);
+         ]
+       end
+       else [])
+    @ (if cfg.Config.ext_div then begin
+         (* RISC-V M division: x/0 = all-ones, x%0 = x (the unsigned RTL
+            operators already follow that convention), MIN/-1 wraps. *)
+         let zero = C.consti b ~width:xlen 0 in
+         let abs x = C.mux b (C.slt b x zero) (C.neg b x) x in
+         let aa = abs op1 and ab = abs alu_b in
+         let qu = C.udiv b aa ab in
+         let ru = C.urem b aa ab in
+         let sign_differs = C.xor b (C.slt b op1 zero) (C.slt b alu_b zero) in
+         let q_signed = C.mux b sign_differs (C.neg b qu) qu in
+         let div_res =
+           C.mux b (C.eq b alu_b zero)
+             (C.consti b ~width:xlen (-1))
+             q_signed
+         in
+         let rem_res = C.mux b (C.slt b op1 zero) (C.neg b ru) ru in
+         [
+           (Decode.alu_div, div_res);
+           (Decode.alu_divu, C.udiv b op1 alu_b);
+           (Decode.alu_rem, rem_res);
+           (Decode.alu_remu, C.urem b op1 alu_b);
+         ]
+       end
+       else [])
+  in
+  let alu_result =
+    C.onehot_mux b
+      (List.map (fun (code, v) -> (opv code, v)) results)
+      ~default:(C.add b op1 alu_b)
+  in
+  (* Single-instruction mutations on the execution result. *)
+  let when_r code = is_r &&& opv code in
+  let when_i code = is_i &&& opv code in
+  let corrupt cond wrong = C.mux b cond wrong alu_result in
+  let value =
+    match bug with
+    | Some Bug.Bug_add ->
+        corrupt (when_r Decode.alu_add) (C.add b alu_result one_x)
+    | Some Bug.Bug_sub ->
+        corrupt (when_r Decode.alu_sub) (C.xor b alu_result one_x)
+    | Some Bug.Bug_xor ->
+        corrupt (when_r Decode.alu_xor)
+          (C.xor b alu_result (C.consti b ~width:xlen (1 lsl (xlen - 1))))
+    | Some Bug.Bug_or -> corrupt (when_r Decode.alu_or) (C.xor b op1 alu_b)
+    | Some Bug.Bug_and ->
+        corrupt (when_r Decode.alu_and) (C.and_ b op1 (C.not_ b alu_b))
+    | Some Bug.Bug_slt ->
+        corrupt (when_r Decode.alu_slt) (C.xor b alu_result one_x)
+    | Some Bug.Bug_sltu ->
+        corrupt (when_r Decode.alu_sltu) (C.xor b alu_result one_x)
+    | Some Bug.Bug_sra -> corrupt (when_r Decode.alu_sra) (C.lshr b op1 shamt)
+    | Some Bug.Bug_mulh ->
+        corrupt (when_r Decode.alu_mulh) (C.add b alu_result one_x)
+    | Some Bug.Bug_xori ->
+        corrupt (when_i Decode.alu_xor) (C.or_ b op1 alu_b)
+    | Some Bug.Bug_srai -> corrupt (when_i Decode.alu_sra) (C.lshr b op1 shamt)
+    | _ -> alu_result
+  in
+  let store_data =
+    let base = op2 in
+    if has Bug.Bug_sw then
+      C.mux b (is_store &&& store_fwd_active) (C.add b base one_x) base
+    else base
+  in
+  { value; store_data }

@@ -1,0 +1,34 @@
+(** The execution unit shared by the pipeline variants: ALU operation mux,
+    shared multiplier/divider datapaths, and the single-instruction
+    mutation points of the {!Bug} catalog.
+
+    Factoring this out guarantees that every core variant exhibits the
+    same instruction semantics and the same injected single-instruction
+    bugs, which is what makes cross-microarchitecture QED comparisons
+    meaningful. *)
+
+module C = Sqed_rtl.Circuit
+
+type result = {
+  value : C.signal;  (** the (possibly mutated) execution result *)
+  store_data : C.signal;  (** the (possibly mutated) store value *)
+}
+
+val build :
+  b:C.builder ->
+  ?bug:Bug.t ->
+  Config.t ->
+  op1:C.signal ->
+  op2:C.signal ->
+  imm:C.signal ->
+  alu_op:C.signal ->
+  is_r:C.signal ->
+  is_i:C.signal ->
+  is_store:C.signal ->
+  store_fwd_active:C.signal ->
+  unit ->
+  result
+(** [op1]/[op2] are the forwarded operand values, [imm] the XLEN-wide
+    immediate; the second ALU operand is [op2] for R-type and [imm]
+    otherwise.  [store_fwd_active] feeds the SW mutation's trigger
+    condition. *)

@@ -1,0 +1,33 @@
+type t = { xlen : int; nregs : int; mem_words : int; ext_m : bool; ext_div : bool }
+
+let rv32 =
+  { xlen = 32; nregs = 32; mem_words = 16; ext_m = true; ext_div = true }
+
+let small =
+  { xlen = 8; nregs = 16; mem_words = 4; ext_m = false; ext_div = false }
+
+let small_m = { small with ext_m = true }
+let tiny = { xlen = 4; nregs = 8; mem_words = 2; ext_m = false; ext_div = false }
+let tiny_m = { tiny with ext_m = true }
+
+let log2 n =
+  let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
+  let r = go 0 in
+  if r < 0 then invalid_arg (Printf.sprintf "Config.log2: %d is not a power of two" n);
+  r
+
+let validate c =
+  ignore (log2 c.xlen);
+  ignore (log2 c.nregs);
+  ignore (log2 c.mem_words);
+  if c.xlen < 4 then invalid_arg "Config: xlen must be at least 4";
+  if c.nregs < 8 || c.nregs > 32 then
+    invalid_arg "Config: nregs must be between 8 and 32";
+  if c.mem_words < 2 then invalid_arg "Config: mem_words must be at least 2"
+
+let reg_bits c = log2 c.nregs
+let addr_bits c = log2 c.mem_words
+
+let to_string c =
+  Printf.sprintf "xlen=%d nregs=%d mem=%d m=%b div=%b" c.xlen c.nregs
+    c.mem_words c.ext_m c.ext_div

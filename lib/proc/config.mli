@@ -1,0 +1,44 @@
+(** Configuration of the DUV substrate (the pipelined core standing in for
+    RIDECORE).
+
+    The design is fully parametric in datapath width, register count and
+    memory size, because bit-blasted BMC cost grows steeply with state
+    bits; the paper-scale configuration ([rv32]) and the experiment-scale
+    configurations ([small], [tiny]) share every line of RTL. *)
+
+type t = {
+  xlen : int;  (** datapath width; power of two *)
+  nregs : int;  (** architectural registers (<= 32); power of two *)
+  mem_words : int;  (** data-memory words; power of two, >= 2 *)
+  ext_m : bool;  (** include the MUL/MULH/MULHU datapath *)
+  ext_div : bool;  (** include the DIV/DIVU/REM/REMU datapath *)
+}
+
+val rv32 : t
+(** 32-bit, 32 registers, 16 memory words, with M extension. *)
+
+val small : t
+(** 8-bit datapath, 16 registers, 4 memory words, no multiplier — the
+    default configuration for BMC experiments. *)
+
+val small_m : t
+(** [small] plus the multiplier (for the MULH bug row). *)
+
+val tiny : t
+(** 4-bit datapath, 8 registers, 2 memory words — fastest checks. *)
+
+val tiny_m : t
+(** [tiny] plus the multiplier. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on malformed configurations. *)
+
+val log2 : int -> int
+(** Exact log2 of a power of two; raises otherwise. *)
+
+val reg_bits : t -> int
+(** Bits of a register index field that can address [nregs]. *)
+
+val addr_bits : t -> int
+
+val to_string : t -> string

@@ -1,0 +1,182 @@
+module C = Sqed_rtl.Circuit
+
+let alu_add = 0
+let alu_sub = 1
+let alu_sll = 2
+let alu_slt = 3
+let alu_sltu = 4
+let alu_xor = 5
+let alu_srl = 6
+let alu_sra = 7
+let alu_or = 8
+let alu_and = 9
+let alu_mul = 10
+let alu_mulh = 11
+let alu_mulhu = 12
+let alu_cpyb = 13
+let alu_div = 14
+let alu_divu = 15
+let alu_rem = 16
+let alu_remu = 17
+
+let alu_code_of_rop = function
+  | Sqed_isa.Insn.ADD -> alu_add
+  | Sqed_isa.Insn.SUB -> alu_sub
+  | Sqed_isa.Insn.SLL -> alu_sll
+  | Sqed_isa.Insn.SLT -> alu_slt
+  | Sqed_isa.Insn.SLTU -> alu_sltu
+  | Sqed_isa.Insn.XOR -> alu_xor
+  | Sqed_isa.Insn.SRL -> alu_srl
+  | Sqed_isa.Insn.SRA -> alu_sra
+  | Sqed_isa.Insn.OR -> alu_or
+  | Sqed_isa.Insn.AND -> alu_and
+  | Sqed_isa.Insn.MUL -> alu_mul
+  | Sqed_isa.Insn.MULH -> alu_mulh
+  | Sqed_isa.Insn.MULHU -> alu_mulhu
+  | Sqed_isa.Insn.DIV -> alu_div
+  | Sqed_isa.Insn.DIVU -> alu_divu
+  | Sqed_isa.Insn.REM -> alu_rem
+  | Sqed_isa.Insn.REMU -> alu_remu
+
+let alu_code_of_iop = function
+  | Sqed_isa.Insn.ADDI -> alu_add
+  | Sqed_isa.Insn.SLTI -> alu_slt
+  | Sqed_isa.Insn.SLTIU -> alu_sltu
+  | Sqed_isa.Insn.XORI -> alu_xor
+  | Sqed_isa.Insn.ORI -> alu_or
+  | Sqed_isa.Insn.ANDI -> alu_and
+  | Sqed_isa.Insn.SLLI -> alu_sll
+  | Sqed_isa.Insn.SRLI -> alu_srl
+  | Sqed_isa.Insn.SRAI -> alu_sra
+
+type ctrl = {
+  legal : C.signal;
+  rd : C.signal;
+  rs1 : C.signal;
+  rs2 : C.signal;
+  is_r : C.signal;
+  is_i : C.signal;
+  is_lui : C.signal;
+  is_load : C.signal;
+  is_store : C.signal;
+  uses_rs1 : C.signal;
+  uses_rs2 : C.signal;
+  writes_rd : C.signal;
+  alu_op : C.signal;
+  imm : C.signal;
+}
+
+let ext12 b cfg imm12 =
+  let xlen = cfg.Config.xlen in
+  if xlen >= 12 then C.sext b imm12 xlen
+  else C.extract b ~hi:(xlen - 1) ~lo:0 imm12
+
+let decode b cfg instr =
+  let xlen = cfg.Config.xlen in
+  let f hi lo = C.extract b ~hi ~lo instr in
+  let opcode = f 6 0 in
+  let f3 = f 14 12 in
+  let f7 = f 31 25 in
+  let rd = f 11 7 in
+  let rs1 = f 19 15 in
+  let rs2 = f 24 20 in
+  let imm_i = f 31 20 in
+  let imm_s = C.concat b (f 31 25) (f 11 7) in
+  let opc v = C.eq b opcode (C.consti b ~width:7 v) in
+  let f3v v = C.eq b f3 (C.consti b ~width:3 v) in
+  let f7v v = C.eq b f7 (C.consti b ~width:7 v) in
+  let f7z = f7v 0b0000000 and f7s = f7v 0b0100000 and f7m = f7v 0b0000001 in
+  let ( &&& ) = C.and_ b and ( ||| ) = C.or_ b in
+  (* R-type legality. *)
+  let r_std =
+    f7z ||| (f7s &&& (f3v 0b000 ||| f3v 0b101))
+  in
+  let r_mul =
+    if cfg.Config.ext_m then f7m &&& (f3v 0b000 ||| f3v 0b001 ||| f3v 0b011)
+    else C.gnd b
+  in
+  let r_div =
+    if cfg.Config.ext_div then
+      f7m &&& (f3v 0b100 ||| f3v 0b101 ||| f3v 0b110 ||| f3v 0b111)
+    else C.gnd b
+  in
+  let is_r = opc 0b0110011 &&& (r_std ||| r_mul ||| r_div) in
+  (* I-type ALU legality. *)
+  let i_shift_ok =
+    (f3v 0b001 &&& f7z) ||| (f3v 0b101 &&& (f7z ||| f7s))
+  in
+  let i_plain = f3v 0b000 ||| f3v 0b010 ||| f3v 0b011 ||| f3v 0b100 ||| f3v 0b110 ||| f3v 0b111 in
+  let is_i = opc 0b0010011 &&& (i_plain ||| i_shift_ok) in
+  let is_lui = opc 0b0110111 in
+  let is_load = opc 0b0000011 &&& f3v 0b010 in
+  let is_store = opc 0b0100011 &&& f3v 0b010 in
+  let legal = is_r ||| is_i ||| is_lui ||| is_load ||| is_store in
+  (* ALU operation code. *)
+  let code v = C.consti b ~width:5 v in
+  let ( ==> ) sel v = (sel, v) in
+  let alu_arith =
+    (* For R/I by f3, with f7 disambiguation. *)
+    C.onehot_mux b
+      [
+        (f3v 0b000 &&& is_r &&& f7s) ==> code alu_sub;
+        (f3v 0b000 &&& is_r &&& f7m) ==> code alu_mul;
+        f3v 0b000 ==> code alu_add;
+        (f3v 0b001 &&& is_r &&& f7m) ==> code alu_mulh;
+        f3v 0b001 ==> code alu_sll;
+        f3v 0b010 ==> code alu_slt;
+        (f3v 0b011 &&& is_r &&& f7m) ==> code alu_mulhu;
+        f3v 0b011 ==> code alu_sltu;
+        (f3v 0b100 &&& is_r &&& f7m) ==> code alu_div;
+        f3v 0b100 ==> code alu_xor;
+        (f3v 0b101 &&& is_r &&& f7m) ==> code alu_divu;
+        (f3v 0b101 &&& f7s) ==> code alu_sra;
+        f3v 0b101 ==> code alu_srl;
+        (f3v 0b110 &&& is_r &&& f7m) ==> code alu_rem;
+        f3v 0b110 ==> code alu_or;
+        (f3v 0b111 &&& is_r &&& f7m) ==> code alu_remu;
+      ]
+      ~default:(code alu_and)
+  in
+  let alu_op =
+    C.onehot_mux b
+      [
+        is_lui ==> code alu_cpyb;
+        (is_load ||| is_store) ==> code alu_add;
+      ]
+      ~default:alu_arith
+  in
+  (* Immediate operand, XLEN wide. *)
+  let imm_i_x = ext12 b cfg imm_i in
+  let imm_s_x = ext12 b cfg imm_s in
+  let imm_u_x =
+    (* LUI places imm20 at bits 31:12; only bits below XLEN survive. *)
+    if xlen <= 12 then C.consti b ~width:xlen 0
+    else if xlen >= 32 then
+      C.sext b (C.concat b (f 31 12) (C.consti b ~width:12 0)) xlen
+    else C.concat b (f (xlen - 1) 12) (C.consti b ~width:12 0)
+  in
+  let imm =
+    C.onehot_mux b
+      [ is_store ==> imm_s_x; is_lui ==> imm_u_x ]
+      ~default:imm_i_x
+  in
+  let uses_rs1 = is_r ||| is_i ||| is_load ||| is_store in
+  let uses_rs2 = is_r ||| is_store in
+  let rd_nonzero = C.neq b rd (C.consti b ~width:5 0) in
+  let writes_rd = legal &&& C.not_ b is_store &&& rd_nonzero in
+  {
+    legal;
+    rd;
+    rs1;
+    rs2;
+    is_r;
+    is_i;
+    is_lui;
+    is_load;
+    is_store;
+    uses_rs1;
+    uses_rs2;
+    writes_rd;
+    alu_op;
+    imm;
+  }

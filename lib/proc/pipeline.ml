@@ -1,0 +1,258 @@
+module C = Sqed_rtl.Circuit
+module Node = Sqed_rtl.Node
+
+type ports = {
+  stall : C.signal;
+  wb_valid : C.signal;
+  wb_rd : C.signal;
+  wb_data : C.signal;
+  store_valid : C.signal;
+  store_addr : C.signal;
+  store_data : C.signal;
+  busy : C.signal;
+  regs : C.signal array;
+  mem_words : C.signal array;
+  in_legal : C.signal;
+}
+
+let build ~b ?bug cfg ~instr ~instr_valid =
+  Config.validate cfg;
+  let xlen = cfg.Config.xlen in
+  let rbits = Config.reg_bits cfg in
+  let abits = Config.addr_bits cfg in
+  let has b' = bug = Some b' in
+  let ( &&& ) = C.and_ b and ( ||| ) = C.or_ b in
+  let not_ = C.not_ b in
+  let czero w = C.consti b ~width:w 0 in
+  let one_x = C.consti b ~width:xlen 1 in
+  let flag name = C.reg_const b ~name ~width:1 0 in
+  let field name w = C.reg_const b ~name ~width:w 0 in
+
+  (* ---- pipeline state (declared up front, driven below) ------------- *)
+  let id_valid = flag "id_valid" in
+  let id_rd = field "id_rd" 5 in
+  let id_rs1 = field "id_rs1" 5 in
+  let id_rs2 = field "id_rs2" 5 in
+  let id_imm = field "id_imm" xlen in
+  let id_alu_op = field "id_alu_op" 5 in
+  let id_is_r = flag "id_is_r" in
+  let id_is_i = flag "id_is_i" in
+  let id_is_load = flag "id_is_load" in
+  let id_is_store = flag "id_is_store" in
+  let id_uses_rs1 = flag "id_uses_rs1" in
+  let id_uses_rs2 = flag "id_uses_rs2" in
+  let id_writes_rd = flag "id_writes_rd" in
+
+  let ex_valid = flag "ex_valid" in
+  let ex_rd = field "ex_rd" 5 in
+  let ex_rs1 = field "ex_rs1" 5 in
+  let ex_rs2 = field "ex_rs2" 5 in
+  let ex_imm = field "ex_imm" xlen in
+  let ex_alu_op = field "ex_alu_op" 5 in
+  let ex_is_r = flag "ex_is_r" in
+  let ex_is_i = flag "ex_is_i" in
+  let ex_is_load = flag "ex_is_load" in
+  let ex_is_store = flag "ex_is_store" in
+  let ex_uses_rs1 = flag "ex_uses_rs1" in
+  let ex_uses_rs2 = flag "ex_uses_rs2" in
+  let ex_writes_rd = flag "ex_writes_rd" in
+  let ex_op1 = field "ex_op1" xlen in
+  let ex_op2 = field "ex_op2" xlen in
+
+  let mem_valid = flag "mem_valid" in
+  let mem_rd = field "mem_rd" 5 in
+  let mem_writes_rd = flag "mem_writes_rd" in
+  let mem_is_load = flag "mem_is_load" in
+  let mem_is_store = flag "mem_is_store" in
+  let mem_alu = field "mem_alu" xlen in
+  let mem_store_data = field "mem_store_data" xlen in
+
+  let wb_valid_r = flag "wb_valid" in
+  let wb_rd_r = field "wb_rd" 5 in
+  let wb_writes = flag "wb_writes" in
+  let wb_data_r = field "wb_data" xlen in
+
+  (* ---- architectural register file ----------------------------------- *)
+  let regfile =
+    Array.init cfg.Config.nregs (fun i ->
+        if i = 0 then czero xlen
+        else
+          C.reg b
+            ~name:(Printf.sprintf "x%d" i)
+            ~init:(Node.Symbolic_init (Printf.sprintf "reg%d_init" i))
+            ~width:xlen)
+  in
+  let reg_read idx5 =
+    let idx = C.extract b ~hi:(rbits - 1) ~lo:0 idx5 in
+    let rec tree lo n bitpos =
+      if n = 1 then regfile.(lo)
+      else
+        let half = n / 2 in
+        C.mux b (C.bit b idx bitpos)
+          (tree (lo + half) half (bitpos - 1))
+          (tree lo half (bitpos - 1))
+    in
+    tree 0 cfg.Config.nregs (rbits - 1)
+  in
+
+  (* ---- input decode --------------------------------------------------- *)
+  let d = Decode.decode b cfg instr in
+
+  (* ---- WB write enable (needed early for the ID bypass) --------------- *)
+  (* The WB data value, as consumed by the regfile write, the ID bypass
+     and the WB->EX forwarding path. *)
+  let wb_data_eff =
+    if has Bug.Bug_wb_clobber_on_store then
+      C.mux b (mem_valid &&& mem_is_store) (C.add b wb_data_r one_x) wb_data_r
+    else wb_data_r
+  in
+  let wb_en = wb_valid_r &&& wb_writes in
+
+  (* ---- ID stage -------------------------------------------------------- *)
+  let bypass rs raw =
+    (* Read-during-write: the value being written back this cycle wins. *)
+    if has Bug.Bug_wb_bypass then raw
+    else
+      let hit = wb_en &&& C.eq b wb_rd_r rs in
+      C.mux b hit wb_data_eff raw
+  in
+  let rs1_val = bypass id_rs1 (reg_read id_rs1) in
+  let rs2_val = bypass id_rs2 (reg_read id_rs2) in
+  let load_use_hazard =
+    id_valid &&& ex_valid &&& ex_is_load &&& ex_writes_rd
+    &&& ((id_uses_rs1 &&& C.eq b ex_rd id_rs1)
+        ||| (id_uses_rs2 &&& C.eq b ex_rd id_rs2))
+  in
+  let stall = if has Bug.Bug_load_use_stall then C.gnd b else load_use_hazard in
+  let hold held incoming = C.mux b stall held incoming in
+  let id_rd_held =
+    if has Bug.Bug_stall_corrupt then
+      (* The held instruction's destination register field decays. *)
+      C.xor b id_rd (C.consti b ~width:5 1)
+    else id_rd
+  in
+  C.connect b id_valid (hold id_valid (instr_valid &&& d.Decode.legal));
+  C.connect b id_rd (hold id_rd_held d.Decode.rd);
+  C.connect b id_rs1 (hold id_rs1 d.Decode.rs1);
+  C.connect b id_rs2 (hold id_rs2 d.Decode.rs2);
+  C.connect b id_imm (hold id_imm d.Decode.imm);
+  C.connect b id_alu_op (hold id_alu_op d.Decode.alu_op);
+  C.connect b id_is_r (hold id_is_r d.Decode.is_r);
+  C.connect b id_is_i (hold id_is_i d.Decode.is_i);
+  C.connect b id_is_load (hold id_is_load d.Decode.is_load);
+  C.connect b id_is_store (hold id_is_store d.Decode.is_store);
+  C.connect b id_uses_rs1 (hold id_uses_rs1 d.Decode.uses_rs1);
+  C.connect b id_uses_rs2 (hold id_uses_rs2 d.Decode.uses_rs2);
+  C.connect b id_writes_rd (hold id_writes_rd d.Decode.writes_rd);
+
+  (* ---- EX stage --------------------------------------------------------- *)
+  C.connect b ex_valid (id_valid &&& not_ stall);
+  C.connect b ex_rd id_rd;
+  C.connect b ex_rs1 id_rs1;
+  C.connect b ex_rs2 id_rs2;
+  C.connect b ex_imm id_imm;
+  C.connect b ex_alu_op id_alu_op;
+  C.connect b ex_is_r id_is_r;
+  C.connect b ex_is_i id_is_i;
+  C.connect b ex_is_load id_is_load;
+  C.connect b ex_is_store id_is_store;
+  C.connect b ex_uses_rs1 id_uses_rs1;
+  C.connect b ex_uses_rs2 id_uses_rs2;
+  C.connect b ex_writes_rd id_writes_rd;
+  C.connect b ex_op1 rs1_val;
+  C.connect b ex_op2 rs2_val;
+
+  (* Forwarding network. *)
+  let mem_can_fwd = mem_valid &&& mem_writes_rd &&& not_ mem_is_load in
+  let wb_can_fwd = wb_valid_r &&& wb_writes in
+  let mem_fwd_value =
+    if has Bug.Bug_fwd_value then C.add b mem_alu one_x else mem_alu
+  in
+  let forward ~disable_mem rs uses raw =
+    let from_mem =
+      let base = mem_can_fwd &&& C.eq b mem_rd rs &&& uses in
+      if disable_mem then C.gnd b else base
+    in
+    let from_wb =
+      let base = wb_can_fwd &&& C.eq b wb_rd_r rs &&& uses in
+      if has Bug.Bug_fwd_wb then C.gnd b else base
+    in
+    if has Bug.Bug_fwd_priority then
+      (* Stale WB value incorrectly wins over the newer MEM value. *)
+      C.mux b from_wb wb_data_eff (C.mux b from_mem mem_fwd_value raw)
+    else C.mux b from_mem mem_fwd_value (C.mux b from_wb wb_data_eff raw)
+  in
+  let fwd_rs2_active =
+    (mem_can_fwd &&& C.eq b mem_rd ex_rs2 &&& ex_uses_rs2)
+    ||| (wb_can_fwd &&& C.eq b wb_rd_r ex_rs2 &&& ex_uses_rs2)
+  in
+  let op1 =
+    forward ~disable_mem:(has Bug.Bug_fwd_mem_rs1) ex_rs1 ex_uses_rs1 ex_op1
+  in
+  let op2 =
+    forward ~disable_mem:(has Bug.Bug_fwd_mem_rs2) ex_rs2 ex_uses_rs2 ex_op2
+  in
+
+  (* Execution unit (shared with the other pipeline variants). *)
+  let alu =
+    Alu.build ~b ?bug cfg ~op1 ~op2 ~imm:ex_imm ~alu_op:ex_alu_op
+      ~is_r:ex_is_r ~is_i:ex_is_i ~is_store:ex_is_store
+      ~store_fwd_active:fwd_rs2_active ()
+  in
+  let alu_result = alu.Alu.value in
+  let store_data_ex = alu.Alu.store_data in
+
+  (* ---- MEM stage --------------------------------------------------------- *)
+  C.connect b mem_valid ex_valid;
+  C.connect b mem_rd ex_rd;
+  C.connect b mem_writes_rd ex_writes_rd;
+  C.connect b mem_is_load ex_is_load;
+  C.connect b mem_is_store ex_is_store;
+  C.connect b mem_alu alu_result;
+  C.connect b mem_store_data store_data_ex;
+
+  let mem_addr = C.extract b ~hi:(abits - 1) ~lo:0 mem_alu in
+  let store_en = mem_valid &&& mem_is_store in
+  let mem_store_data_eff =
+    if has Bug.Bug_store_interference then
+      C.mux b (ex_valid &&& ex_is_store)
+        (C.add b mem_store_data one_x)
+        mem_store_data
+    else mem_store_data
+  in
+  let dmem =
+    C.memory b ~name:"dmem" ~words:cfg.Config.mem_words ~word_width:xlen
+      ~init:(Node.Symbolic_init "dmem") ~wr_en:store_en ~wr_addr:mem_addr
+      ~wr_data:mem_store_data_eff
+  in
+  let load_data = dmem.C.read mem_addr in
+  let mem_result = C.mux b mem_is_load load_data mem_alu in
+
+  (* ---- WB stage ------------------------------------------------------------ *)
+  C.connect b wb_valid_r mem_valid;
+  C.connect b wb_rd_r mem_rd;
+  C.connect b wb_writes mem_writes_rd;
+  C.connect b wb_data_r mem_result;
+
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let here = wb_en &&& C.eq b wb_rd_r (C.consti b ~width:5 i) in
+        C.connect b r (C.mux b here wb_data_eff r)
+      end)
+    regfile;
+
+  let busy = id_valid ||| ex_valid ||| mem_valid ||| wb_valid_r in
+  {
+    stall;
+    wb_valid = wb_en;
+    wb_rd = wb_rd_r;
+    wb_data = wb_data_eff;
+    store_valid = store_en;
+    store_addr = mem_addr;
+    store_data = mem_store_data_eff;
+    busy;
+    regs = regfile;
+    mem_words = dmem.C.words;
+    in_legal = d.Decode.legal;
+  }

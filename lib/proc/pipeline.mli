@@ -1,0 +1,41 @@
+(** The DUV substrate: a parameterised in-order pipelined RV32IM core built
+    in the RTL DSL (standing in for RIDECORE; see DESIGN.md for why the
+    substitution preserves the experiments' shape).
+
+    Pipeline structure (instructions are injected at ID; there is no fetch
+    stage or PC, as in SQED-style verification):
+
+    {v ID (decode, regfile read, WB bypass, load-use stall)
+       EX (forwarding from MEM and WB, ALU, optional multiplier)
+       MEM (data-memory access, store commit)
+       WB (register write) v}
+
+    The register file starts in a symbolic state (registers
+    [reg<i>_init]); data memory likewise ([dmem_<w>]).  A {!Bug.t} can be
+    injected at build time — mutation testing at the RTL level. *)
+
+module C = Sqed_rtl.Circuit
+
+type ports = {
+  stall : C.signal;  (** input instruction not consumed this cycle *)
+  wb_valid : C.signal;  (** a register write commits this cycle *)
+  wb_rd : C.signal;  (** 5-bit destination of the committing write *)
+  wb_data : C.signal;
+  store_valid : C.signal;  (** a store commits this cycle *)
+  store_addr : C.signal;  (** word address, [Config.addr_bits] wide *)
+  store_data : C.signal;
+  busy : C.signal;  (** some stage holds a valid instruction *)
+  regs : C.signal array;  (** architectural registers, index 0 is zero *)
+  mem_words : C.signal array;
+  in_legal : C.signal;  (** the input instruction decodes as supported *)
+}
+
+val build :
+  b:C.builder ->
+  ?bug:Bug.t ->
+  Config.t ->
+  instr:C.signal ->
+  instr_valid:C.signal ->
+  ports
+(** Instantiate the core inside an existing netlist.  [instr] must be 32
+    bits wide, [instr_valid] one bit. *)

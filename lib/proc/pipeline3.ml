@@ -1,0 +1,137 @@
+module C = Sqed_rtl.Circuit
+module Node = Sqed_rtl.Node
+
+let build ~b ?bug cfg ~instr ~instr_valid =
+  Config.validate cfg;
+  let xlen = cfg.Config.xlen in
+  let rbits = Config.reg_bits cfg in
+  let abits = Config.addr_bits cfg in
+  let has b' = bug = Some b' in
+  let ( &&& ) = C.and_ b and ( ||| ) = C.or_ b in
+  let czero w = C.consti b ~width:w 0 in
+  let flag name = C.reg_const b ~name ~width:1 0 in
+  let field name w = C.reg_const b ~name ~width:w 0 in
+
+  (* ---- pipeline state -------------------------------------------------- *)
+  let id_valid = flag "id_valid" in
+  let id_rd = field "id_rd" 5 in
+  let id_rs1 = field "id_rs1" 5 in
+  let id_rs2 = field "id_rs2" 5 in
+  let id_imm = field "id_imm" xlen in
+  let id_alu_op = field "id_alu_op" 5 in
+  let id_is_r = flag "id_is_r" in
+  let id_is_i = flag "id_is_i" in
+  let id_is_load = flag "id_is_load" in
+  let id_is_store = flag "id_is_store" in
+  let id_uses_rs1 = flag "id_uses_rs1" in
+  let id_uses_rs2 = flag "id_uses_rs2" in
+  let id_writes_rd = flag "id_writes_rd" in
+  let id_op1 = field "id_op1" xlen in
+  let id_op2 = field "id_op2" xlen in
+
+  let wb_valid_r = flag "wb_valid" in
+  let wb_rd_r = field "wb_rd" 5 in
+  let wb_writes = flag "wb_writes" in
+  let wb_data_r = field "wb_data" xlen in
+
+  (* ---- architectural register file ------------------------------------- *)
+  let regfile =
+    Array.init cfg.Config.nregs (fun i ->
+        if i = 0 then czero xlen
+        else
+          C.reg b
+            ~name:(Printf.sprintf "x%d" i)
+            ~init:(Node.Symbolic_init (Printf.sprintf "reg%d_init" i))
+            ~width:xlen)
+  in
+  let reg_read idx5 =
+    let idx = C.extract b ~hi:(rbits - 1) ~lo:0 idx5 in
+    let rec tree lo n bitpos =
+      if n = 1 then regfile.(lo)
+      else
+        let half = n / 2 in
+        C.mux b (C.bit b idx bitpos)
+          (tree (lo + half) half (bitpos - 1))
+          (tree lo half (bitpos - 1))
+    in
+    tree 0 cfg.Config.nregs (rbits - 1)
+  in
+
+  (* ---- decode and register read (the ID stage) -------------------------- *)
+  let d = Decode.decode b cfg instr in
+  let wb_en = wb_valid_r &&& wb_writes in
+  let bypass rs raw =
+    if has Bug.Bug_wb_bypass then raw
+    else C.mux b (wb_en &&& C.eq b wb_rd_r rs) wb_data_r raw
+  in
+  C.connect b id_valid (instr_valid &&& d.Decode.legal);
+  C.connect b id_rd d.Decode.rd;
+  C.connect b id_rs1 d.Decode.rs1;
+  C.connect b id_rs2 d.Decode.rs2;
+  C.connect b id_imm d.Decode.imm;
+  C.connect b id_alu_op d.Decode.alu_op;
+  C.connect b id_is_r d.Decode.is_r;
+  C.connect b id_is_i d.Decode.is_i;
+  C.connect b id_is_load d.Decode.is_load;
+  C.connect b id_is_store d.Decode.is_store;
+  C.connect b id_uses_rs1 d.Decode.uses_rs1;
+  C.connect b id_uses_rs2 d.Decode.uses_rs2;
+  C.connect b id_writes_rd d.Decode.writes_rd;
+  C.connect b id_op1 (bypass d.Decode.rs1 (reg_read d.Decode.rs1));
+  C.connect b id_op2 (bypass d.Decode.rs2 (reg_read d.Decode.rs2));
+
+  (* ---- execute + memory (the EX stage) ----------------------------------- *)
+  (* The only in-flight producer whose result is not yet in the regfile is
+     the instruction one ahead, now at WB. *)
+  let forward rs uses raw =
+    let hit =
+      let base = wb_en &&& C.eq b wb_rd_r rs &&& uses in
+      if has Bug.Bug_fwd_wb then C.gnd b else base
+    in
+    C.mux b hit wb_data_r raw
+  in
+  let fwd_rs2_active = wb_en &&& C.eq b wb_rd_r id_rs2 &&& id_uses_rs2 in
+  let op1 = forward id_rs1 id_uses_rs1 id_op1 in
+  let op2 = forward id_rs2 id_uses_rs2 id_op2 in
+  let alu =
+    Alu.build ~b ?bug cfg ~op1 ~op2 ~imm:id_imm ~alu_op:id_alu_op
+      ~is_r:id_is_r ~is_i:id_is_i ~is_store:id_is_store
+      ~store_fwd_active:fwd_rs2_active ()
+  in
+  let addr = C.extract b ~hi:(abits - 1) ~lo:0 alu.Alu.value in
+  let store_en = id_valid &&& id_is_store in
+  let dmem =
+    C.memory b ~name:"dmem" ~words:cfg.Config.mem_words ~word_width:xlen
+      ~init:(Node.Symbolic_init "dmem") ~wr_en:store_en ~wr_addr:addr
+      ~wr_data:alu.Alu.store_data
+  in
+  let load_data = dmem.C.read addr in
+  let ex_result = C.mux b id_is_load load_data alu.Alu.value in
+
+  (* ---- write-back ----------------------------------------------------------- *)
+  C.connect b wb_valid_r id_valid;
+  C.connect b wb_rd_r id_rd;
+  C.connect b wb_writes id_writes_rd;
+  C.connect b wb_data_r ex_result;
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let here = wb_en &&& C.eq b wb_rd_r (C.consti b ~width:5 i) in
+        C.connect b r (C.mux b here wb_data_r r)
+      end)
+    regfile;
+
+  let busy = id_valid ||| wb_valid_r in
+  {
+    Pipeline.stall = C.gnd b;
+    wb_valid = wb_en;
+    wb_rd = wb_rd_r;
+    wb_data = wb_data_r;
+    store_valid = store_en;
+    store_addr = addr;
+    store_data = alu.Alu.store_data;
+    busy;
+    regs = regfile;
+    mem_words = dmem.C.words;
+    in_legal = d.Decode.legal;
+  }

@@ -1,0 +1,24 @@
+(** A second DUV: a 3-stage in-order pipeline (ID / EX+MEM / WB) sharing
+    the decoder and execution unit with the 5-stage core but with a
+    different hazard structure — no load-use stall (memory resolves in
+    EX), a single WB->EX forwarding path, and the regfile
+    read-during-write bypass.
+
+    Verifying this core with the unchanged QED layer demonstrates the
+    microarchitecture-independence at the heart of SQED-style methods: the
+    property, the transformation module and the bug catalog's
+    single-instruction mutations carry over verbatim.  Multi-instruction
+    mutations that target machinery this core does not have (MEM-stage
+    forwarding, load-use stalls) are inert here. *)
+
+module C = Sqed_rtl.Circuit
+
+val build :
+  b:C.builder ->
+  ?bug:Bug.t ->
+  Config.t ->
+  instr:C.signal ->
+  instr_valid:C.signal ->
+  Pipeline.ports
+(** Same interface and port contract as {!Pipeline.build}; [stall] is
+    constant zero. *)

@@ -1,0 +1,93 @@
+module Bv = Sqed_bv.Bv
+module C = Sqed_rtl.Circuit
+module Sim = Sqed_rtl.Sim
+module Insn = Sqed_isa.Insn
+module Exec = Sqed_isa.Exec
+
+type variant = Five_stage | Three_stage
+
+let circuit ?bug ?(variant = Five_stage) cfg =
+  let b = C.create "pipeline_tb" in
+  let instr = C.input b "instr" 32 in
+  let instr_valid = C.input b "instr_valid" 1 in
+  let build =
+    match variant with
+    | Five_stage -> Pipeline.build
+    | Three_stage -> Pipeline3.build
+  in
+  let p = build ~b ?bug cfg ~instr ~instr_valid in
+  C.output b "stall" p.Pipeline.stall;
+  C.output b "busy" p.Pipeline.busy;
+  C.output b "wb_valid" p.Pipeline.wb_valid;
+  C.output b "wb_rd" p.Pipeline.wb_rd;
+  C.output b "wb_data" p.Pipeline.wb_data;
+  C.output b "store_valid" p.Pipeline.store_valid;
+  C.output b "legal" p.Pipeline.in_legal;
+  C.finalize b
+
+let initial_env ~init_regs ~init_mem name =
+  let parse prefix suffix_of =
+    if String.length name > String.length prefix
+       && String.sub name 0 (String.length prefix) = prefix
+    then suffix_of (String.sub name (String.length prefix)
+                      (String.length name - String.length prefix))
+    else None
+  in
+  match
+    parse "reg" (fun rest ->
+        (* "reg<i>_init" *)
+        match String.index_opt rest '_' with
+        | Some k -> int_of_string_opt (String.sub rest 0 k)
+        | None -> None)
+  with
+  | Some i -> List.assoc_opt i init_regs
+  | None -> (
+      match parse "dmem_" int_of_string_opt with
+      | Some w -> List.assoc_opt w init_mem
+      | None -> None)
+
+let run ?bug ?variant ?(init_regs = []) ?(init_mem = []) cfg insns =
+  let c = circuit ?bug ?variant cfg in
+  let sim = Sim.create ~initial:(initial_env ~init_regs ~init_mem) c in
+  let nop_in = [ ("instr", Bv.zero 32); ("instr_valid", Bv.zero 1) ] in
+  let feed insn =
+    let word = Sqed_isa.Encode.encode insn in
+    let inputs = [ ("instr", word); ("instr_valid", Bv.one 1) ] in
+    (* Re-present the instruction until the pipeline consumes it. *)
+    let rec go tries =
+      if tries > 8 then failwith "Testbench.run: pipeline stuck in stall";
+      let outs = Sim.cycle sim inputs in
+      if Bv.is_zero (List.assoc "legal" outs) then
+        failwith ("Testbench.run: illegal instruction " ^ Insn.to_string insn);
+      if not (Bv.is_zero (List.assoc "stall" outs)) then go (tries + 1)
+    in
+    go 0
+  in
+  List.iter feed insns;
+  (* Drain. *)
+  let rec drain tries =
+    if tries > 16 then failwith "Testbench.run: pipeline failed to drain";
+    let outs = Sim.cycle sim nop_in in
+    if not (Bv.is_zero (List.assoc "busy" outs)) then drain (tries + 1)
+  in
+  drain 0;
+  (* Read back the architectural state. *)
+  let st = Exec.create ~xlen:cfg.Config.xlen ~mem_words:cfg.Config.mem_words in
+  for i = 1 to cfg.Config.nregs - 1 do
+    Exec.set_reg st i (Sim.reg_value sim (Printf.sprintf "x%d" i))
+  done;
+  for w = 0 to cfg.Config.mem_words - 1 do
+    Exec.store st
+      (Bv.of_int ~width:cfg.Config.xlen w)
+      (Sim.reg_value sim (Printf.sprintf "dmem[%d]" w))
+  done;
+  st
+
+let golden ?(init_regs = []) ?(init_mem = []) cfg insns =
+  let st = Exec.create ~xlen:cfg.Config.xlen ~mem_words:cfg.Config.mem_words in
+  List.iter (fun (i, v) -> Exec.set_reg st i v) init_regs;
+  List.iter
+    (fun (w, v) -> Exec.store st (Bv.of_int ~width:cfg.Config.xlen w) v)
+    init_mem;
+  List.iter (Exec.exec st) insns;
+  st

@@ -1,0 +1,33 @@
+(** Concrete-simulation harness for the pipeline: feed an instruction
+    sequence through the core (respecting stalls), drain, and return the
+    final architectural state in {!Sqed_isa.Exec} form so it can be
+    compared against the golden interpreter. *)
+
+module Bv = Sqed_bv.Bv
+
+type variant = Five_stage | Three_stage
+
+val circuit : ?bug:Bug.t -> ?variant:variant -> Config.t -> Sqed_rtl.Circuit.t
+(** A standalone core with inputs [instr]/[instr_valid] and outputs
+    [stall], [busy], [wb_valid], [wb_rd], [wb_data], [store_valid],
+    [legal]. *)
+
+val run :
+  ?bug:Bug.t ->
+  ?variant:variant ->
+  ?init_regs:(int * Bv.t) list ->
+  ?init_mem:(int * Bv.t) list ->
+  Config.t ->
+  Sqed_isa.Insn.t list ->
+  Sqed_isa.Exec.t
+(** Execute the instruction sequence on the simulated pipeline and return
+    the drained architectural state.  Raises [Failure] if an instruction
+    is rejected as illegal or the pipeline fails to drain. *)
+
+val golden :
+  ?init_regs:(int * Bv.t) list ->
+  ?init_mem:(int * Bv.t) list ->
+  Config.t ->
+  Sqed_isa.Insn.t list ->
+  Sqed_isa.Exec.t
+(** The same program on the instruction-set interpreter. *)

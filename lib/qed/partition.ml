@@ -1,0 +1,76 @@
+type scheme = Eddi | Edsep
+
+type t = {
+  scheme : scheme;
+  nregs : int;
+  n_orig : int;
+  n_temp : int;
+  mem_words : int;
+  mem_half : int;
+}
+
+let make scheme cfg =
+  let nregs = cfg.Sqed_proc.Config.nregs in
+  let mem_words = cfg.Sqed_proc.Config.mem_words in
+  let n_orig =
+    match scheme with
+    | Eddi -> nregs / 2
+    | Edsep -> nregs * 13 / 32
+  in
+  let n_temp = match scheme with Eddi -> 0 | Edsep -> nregs - (2 * n_orig) in
+  if n_orig < 2 then invalid_arg "Partition.make: too few registers";
+  { scheme; nregs; n_orig; n_temp; mem_words; mem_half = mem_words / 2 }
+
+let map_reg p o =
+  if o < 0 || o >= p.n_orig then invalid_arg "Partition.map_reg: not in O";
+  o + p.n_orig
+
+let temp_reg p i =
+  if i < 0 || i >= p.n_temp then
+    invalid_arg "Partition.temp_reg: temporary index out of range";
+  (2 * p.n_orig) + i
+
+let temps p = List.init p.n_temp (temp_reg p)
+
+let in_orig p r = r >= 0 && r < p.n_orig
+let in_equiv p r = r >= p.n_orig && r < 2 * p.n_orig
+
+let orig_compare_pairs p = List.init p.n_orig (fun o -> (o, o + p.n_orig))
+
+let random_original p ~ext_m ~ext_div rng =
+  let module Insn = Sqed_isa.Insn in
+  let o_src () = Random.State.int rng p.n_orig in
+  let o_rd () = 1 + Random.State.int rng (p.n_orig - 1) in
+  let mem_imm () = Random.State.int rng p.mem_half in
+  let rops =
+    List.filter
+      (fun o ->
+        (ext_m || not (Insn.rop_is_mul o))
+        && (ext_div || not (Insn.rop_is_div o)))
+      Insn.all_rops
+  in
+  match Random.State.int rng 10 with
+  | 0 | 1 | 2 | 3 ->
+      let op = List.nth rops (Random.State.int rng (List.length rops)) in
+      Insn.R (op, o_rd (), o_src (), o_src ())
+  | 4 | 5 | 6 ->
+      let op =
+        List.nth Insn.all_iops
+          (Random.State.int rng (List.length Insn.all_iops))
+      in
+      let imm =
+        match op with
+        | Insn.SLLI | Insn.SRLI | Insn.SRAI -> Random.State.int rng 32
+        | _ -> Random.State.int rng 4096 - 2048
+      in
+      Insn.I (op, o_rd (), o_src (), imm)
+  | 7 -> Insn.Lui (o_rd (), Random.State.int rng 0x100000)
+  | 8 -> Insn.Lw (o_rd (), 0, mem_imm ())
+  | _ -> Insn.Sw (o_src (), 0, mem_imm ())
+
+let to_string p =
+  Printf.sprintf "%s O=[0..%d] E=[%d..%d] T=%d mem=%d/%d"
+    (match p.scheme with Eddi -> "EDDI-V" | Edsep -> "EDSEP-V")
+    (p.n_orig - 1) p.n_orig
+    ((2 * p.n_orig) - 1)
+    p.n_temp p.mem_half p.mem_words

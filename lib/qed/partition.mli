@@ -1,0 +1,49 @@
+(** Register-file and memory partitions for the QED transformations
+    (Section 5).
+
+    EDDI-V splits the register file into two halves related by a bijection
+    (original o maps to duplicate o + n).  EDSEP-V splits it into three
+    parts: originals O, their equivalents E (|E| = |O|, o maps to
+    o + |O|), and temporaries T for the intermediate values of equivalent
+    sequences — the paper's 32-register split is 13/13/6.  Data memory is
+    always split into two halves (original and shadow). *)
+
+type scheme = Eddi | Edsep
+
+type t = {
+  scheme : scheme;
+  nregs : int;
+  n_orig : int;  (** |O|; E is the next [n_orig] registers *)
+  n_temp : int;  (** registers above O and E (zero for EDDI) *)
+  mem_words : int;
+  mem_half : int;
+}
+
+val make : scheme -> Sqed_proc.Config.t -> t
+(** EDSEP sizes O as [floor (13/32 * nregs)], reproducing 13/13/6 at 32
+    registers (6/6/4 at 16, 3/3/2 at 8). *)
+
+val map_reg : t -> int -> int
+(** Original register to its duplicate/equivalent partner. *)
+
+val temp_reg : t -> int -> int
+(** [temp_reg p i] is the i-th temporary register; raises if out of
+    range (EDSEP only). *)
+
+val temps : t -> int list
+
+val in_orig : t -> int -> bool
+val in_equiv : t -> int -> bool
+
+val orig_compare_pairs : t -> (int * int) list
+(** The (o, e) register pairs compared by QED-consistency, including
+    (0, map 0) whose equivalent must read as zero. *)
+
+val random_original :
+  t -> ext_m:bool -> ext_div:bool -> Random.State.t -> Sqed_isa.Insn.t
+(** A uniformly random legal original instruction for this partition:
+    destination in O∖{x0}, sources in O, loads/stores through x0 into the
+    original memory half, multiplier/divider classes gated by the
+    extension flags. *)
+
+val to_string : t -> string

@@ -1,0 +1,125 @@
+module Bv = Sqed_bv.Bv
+module Insn = Sqed_isa.Insn
+module Sim = Sqed_rtl.Sim
+module Config = Sqed_proc.Config
+
+type run = {
+  program : Insn.t list;
+  cycles : int;
+  bad_fired : bool;
+  reached_ready : bool;
+}
+
+let random_original model rng =
+  let cfg = model.Qed_top.cfg in
+  Partition.random_original model.Qed_top.partition ~ext_m:cfg.Config.ext_m
+    ~ext_div:cfg.Config.ext_div rng
+
+let flag outs name = not (Bv.is_zero (List.assoc name outs))
+
+let run_program ?interleave model rng program =
+  let interleave =
+    match interleave with Some f -> f | None -> Random.State.bool
+  in
+  (* Random (but QED-consistent) initial state. *)
+  let p = model.Qed_top.partition in
+  let cfg = model.Qed_top.cfg in
+  let xlen = cfg.Config.xlen in
+  let init_regs = Hashtbl.create 32 in
+  for i = 1 to p.Partition.n_orig - 1 do
+    let v = Bv.random rng xlen in
+    Hashtbl.replace init_regs (Printf.sprintf "reg%d_init" i) v;
+    Hashtbl.replace init_regs
+      (Printf.sprintf "reg%d_init" (i + p.Partition.n_orig))
+      v
+  done;
+  List.iter
+    (fun t ->
+      Hashtbl.replace init_regs
+        (Printf.sprintf "reg%d_init" t)
+        (Bv.random rng xlen))
+    (Partition.temps p);
+  for w = 0 to p.Partition.mem_half - 1 do
+    let v = Bv.random rng xlen in
+    Hashtbl.replace init_regs (Printf.sprintf "dmem_%d" w) v;
+    Hashtbl.replace init_regs
+      (Printf.sprintf "dmem_%d" (w + p.Partition.mem_half))
+      v
+  done;
+  let sim =
+    Sim.create ~initial:(Hashtbl.find_opt init_regs) model.Qed_top.circuit
+  in
+  let bad = ref false in
+  let ready = ref false in
+  let cycles = ref 0 in
+  let cycle ~pending ~valid =
+    incr cycles;
+    let word =
+      match pending with
+      | Some insn -> Sqed_isa.Encode.encode insn
+      | None -> Bv.zero 32
+    in
+    let sel = if valid && interleave rng then Bv.one 1 else Bv.zero 1 in
+    let outs =
+      Sim.cycle sim
+        [
+          ("orig_instr", word);
+          ("orig_valid", Bv.of_bool valid);
+          ("sel", sel);
+        ]
+    in
+    if flag outs "bad" then bad := true;
+    if flag outs "qed_ready" && flag outs "consistent" then ready := true;
+    flag outs "consumed" && flag outs "is_orig"
+  in
+  let rec feed = function
+    | [] -> ()
+    | insn :: rest ->
+        if !cycles > 64 * (List.length program + 4) then
+          failwith "Qed_sim: model refused the program";
+        if cycle ~pending:(Some insn) ~valid:true then feed rest
+        else feed (insn :: rest)
+  in
+  feed program;
+  (* Drain until QED-ready (or give up after a grace period). *)
+  let grace = ref (16 * (Qed_top.(model.table) |> Equiv_table.max_seq_len) + 32) in
+  while (not !ready) && (not !bad) && !grace > 0 do
+    decr grace;
+    ignore (cycle ~pending:None ~valid:false)
+  done;
+  { program; cycles = !cycles; bad_fired = !bad; reached_ready = !ready }
+
+type campaign = {
+  runs : int;
+  detections : int;
+  first_detection : int option;
+  total_cycles : int;
+}
+
+let campaign ?bug ?table ?check_mem ~scheme ~seed ~runs ~program_length cfg =
+  let model =
+    match scheme with
+    | Partition.Eddi -> Qed_top.eddi ?bug ?check_mem cfg
+    | Partition.Edsep -> Qed_top.edsep ?bug ?check_mem ?table cfg
+  in
+  let rng = Random.State.make [| seed |] in
+  let detections = ref 0 in
+  let first = ref None in
+  let total_cycles = ref 0 in
+  for i = 0 to runs - 1 do
+    let program =
+      List.init program_length (fun _ -> random_original model rng)
+    in
+    let r = run_program model rng program in
+    total_cycles := !total_cycles + r.cycles;
+    if r.bad_fired then begin
+      incr detections;
+      if !first = None then first := Some i
+    end
+  done;
+  {
+    runs;
+    detections = !detections;
+    first_detection = !first;
+    total_cycles = !total_cycles;
+  }

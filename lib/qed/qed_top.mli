@@ -1,0 +1,79 @@
+(** The complete verification model (Fig. 2): QED transformation module +
+    DUV pipeline in one netlist, ready for bounded model checking.
+
+    The QED module holds a small queue of accepted original instructions.
+    Each cycle the environment may present a new original instruction
+    (free input [orig_instr] with [orig_valid]); a free selection input
+    [sel] (the paper's or||eq signal) chooses between dispatching the
+    next original and the next step of a queued instruction's equivalent
+    sequence, so the model checker explores every legal interleaving.
+    Queued instructions expand combinationally through a template ROM
+    built from the equivalence table, with the original's operand fields
+    remapped into the partition's E registers (or duplicate half) and
+    temporaries drawn from T.
+
+    Commit counters track register write-backs landing in O vs E and
+    stores landing in the original vs shadow memory half; [QED-ready]
+    requires equal counts, an empty queue and a drained pipeline, and the
+    [bad] output is [QED-ready /\ not QED-consistent]. *)
+
+module C = Sqed_rtl.Circuit
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+
+type t = {
+  circuit : C.t;
+  cfg : Config.t;
+  partition : Partition.t;
+  table : Equiv_table.t;
+  check_mem : bool;
+}
+
+type core = Five_stage | Three_stage
+(** Which DUV substrate to attach the QED module to; the QED layer itself
+    is identical for both, which is the microarchitecture-independence of
+    the method. *)
+
+val build :
+  ?bug:Bug.t ->
+  ?check_mem:bool ->
+  ?focus:Equiv_table.key ->
+  ?core:core ->
+  table:Equiv_table.t ->
+  partition:Partition.t ->
+  Config.t ->
+  t
+(** Inputs: [orig_instr] (32), [orig_valid] (1), [sel] (1).
+    Outputs: [bad], [assume_ok] (input-constraint obligation),
+    [qed_ready], [consistent], [core_instr], [core_valid], [is_orig],
+    [stall], [wb_valid], [wb_rd].
+    [focus] additionally constrains every injected original instruction to
+    the given class; this restricts the model's inputs, so it is sound for
+    witness (SAT) queries — any counterexample found is a legal trace of
+    the unrestricted model — but must not be used when proving absence of
+    counterexamples.
+    Raises if the table needs more temporaries than the partition has. *)
+
+val eddi :
+  ?bug:Bug.t ->
+  ?check_mem:bool ->
+  ?focus:Equiv_table.key ->
+  ?core:core ->
+  Config.t ->
+  t
+(** SQED's EDDI-V model: duplication table over the two-halves partition. *)
+
+val edsep :
+  ?bug:Bug.t ->
+  ?check_mem:bool ->
+  ?focus:Equiv_table.key ->
+  ?core:core ->
+  ?table:Equiv_table.t ->
+  Config.t ->
+  t
+(** SEPE-SQED's EDSEP-V model; the table defaults to the built-in one for
+    the configuration. *)
+
+val init_assumptions : t -> (string * Sqed_smt.Term.t) list
+(** QED-consistent initial-state constraints over the circuit's symbolic
+    initial-state variables (labelled, as width-1 terms). *)

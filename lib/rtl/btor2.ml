@@ -1,0 +1,310 @@
+module Bv = Sqed_bv.Bv
+
+(* Identifier allocation: BTOR2 lines are numbered from 1; sorts, constants
+   and nodes share one id space. *)
+
+type writer = {
+  buf : Buffer.t;
+  mutable next_id : int;
+  sorts : (int, int) Hashtbl.t; (* width -> sort id *)
+  consts : (string, int) Hashtbl.t; (* "<width>:<binary>" -> id *)
+}
+
+let mk_writer () =
+  {
+    buf = Buffer.create 4096;
+    next_id = 1;
+    sorts = Hashtbl.create 16;
+    consts = Hashtbl.create 64;
+  }
+
+let alloc w =
+  let id = w.next_id in
+  w.next_id <- id + 1;
+  id
+
+let line w fmt = Printf.ksprintf (fun s -> Buffer.add_string w.buf (s ^ "\n")) fmt
+
+let sort w width =
+  match Hashtbl.find_opt w.sorts width with
+  | Some id -> id
+  | None ->
+      let id = alloc w in
+      line w "%d sort bitvec %d" id width;
+      Hashtbl.replace w.sorts width id;
+      id
+
+let const w bv =
+  let key = Printf.sprintf "%d:%s" (Bv.width bv) (Bv.to_binary_string bv) in
+  match Hashtbl.find_opt w.consts key with
+  | Some id -> id
+  | None ->
+      let s = sort w (Bv.width bv) in
+      let id = alloc w in
+      line w "%d const %d %s" id s (Bv.to_binary_string bv);
+      Hashtbl.replace w.consts key id;
+      id
+
+let binop_keyword = function
+  | Node.And -> "and"
+  | Node.Or -> "or"
+  | Node.Xor -> "xor"
+  | Node.Add -> "add"
+  | Node.Sub -> "sub"
+  | Node.Mul -> "mul"
+  | Node.Udiv -> "udiv"
+  | Node.Urem -> "urem"
+  | Node.Eq -> "eq"
+  | Node.Ult -> "ult"
+  | Node.Slt -> "slt"
+  | Node.Shl -> "sll"
+  | Node.Lshr -> "srl"
+  | Node.Ashr -> "sra"
+  | Node.Concat -> "concat"
+
+let to_string ?(bad_output = "bad") ?(constraint_output = "assume_ok") circuit =
+  let w = mk_writer () in
+  line w "; BTOR2 export of circuit %s" (Circuit.name circuit);
+  line w "; %s" (Circuit.stats circuit);
+  let n = Circuit.num_nodes circuit in
+  let ids = Array.make n 0 in
+  (* First pass: declare inputs and states so back-edges resolve. *)
+  for s = 0 to n - 1 do
+    match Circuit.node circuit s with
+    | Node.Input (name, width) ->
+        let srt = sort w width in
+        let id = alloc w in
+        line w "%d input %d %s" id srt name;
+        ids.(s) <- id
+    | Node.Reg rg ->
+        let width = Circuit.node_width circuit s in
+        let srt = sort w width in
+        let id = alloc w in
+        (* BTOR2 state names reject some characters; sanitize brackets. *)
+        let name =
+          String.map
+            (fun c -> if c = '[' || c = ']' then '_' else c)
+            rg.Node.reg_name
+        in
+        line w "%d state %d %s" id srt name;
+        ids.(s) <- id
+    | Node.Const _ | Node.Unop _ | Node.Binop _ | Node.Ite _
+    | Node.Extract _ | Node.Zext _ | Node.Sext _ ->
+        ()
+  done;
+  (* Second pass: combinational fabric in index order. *)
+  for s = 0 to n - 1 do
+    let width = Circuit.node_width circuit s in
+    match Circuit.node circuit s with
+    | Node.Input _ | Node.Reg _ -> ()
+    | Node.Const v -> ids.(s) <- const w v
+    | Node.Unop (Node.Not, x) ->
+        (* The sort must be materialized before the node id so that ids
+           stay strictly increasing in the output. *)
+        let srt = sort w width in
+        let id = alloc w in
+        line w "%d not %d %d" id srt ids.(x);
+        ids.(s) <- id
+    | Node.Unop (Node.Neg, x) ->
+        let srt = sort w width in
+        let id = alloc w in
+        line w "%d neg %d %d" id srt ids.(x);
+        ids.(s) <- id
+    | Node.Binop (op, x, y) ->
+        let srt = sort w width in
+        let id = alloc w in
+        line w "%d %s %d %d %d" id (binop_keyword op) srt ids.(x) ids.(y);
+        ids.(s) <- id
+    | Node.Ite (c, x, y) ->
+        let srt = sort w width in
+        let id = alloc w in
+        line w "%d ite %d %d %d %d" id srt ids.(c) ids.(x) ids.(y);
+        ids.(s) <- id
+    | Node.Extract (hi, lo, x) ->
+        let srt = sort w width in
+        let id = alloc w in
+        line w "%d slice %d %d %d %d" id srt ids.(x) hi lo;
+        ids.(s) <- id
+    | Node.Zext (_, x) ->
+        let srt = sort w width in
+        let id = alloc w in
+        let extra = width - Circuit.node_width circuit x in
+        line w "%d uext %d %d %d" id srt ids.(x) extra;
+        ids.(s) <- id
+    | Node.Sext (_, x) ->
+        let srt = sort w width in
+        let id = alloc w in
+        let extra = width - Circuit.node_width circuit x in
+        line w "%d sext %d %d %d" id srt ids.(x) extra;
+        ids.(s) <- id
+  done;
+  (* Third pass: initializers and next functions. *)
+  List.iter
+    (fun r ->
+      match Circuit.node circuit r with
+      | Node.Reg rg ->
+          let width = Circuit.node_width circuit r in
+          let srt = sort w width in
+          (match rg.Node.init with
+          | Node.Const_init v ->
+              let cid = const w v in
+              let id = alloc w in
+              line w "%d init %d %d %d" id srt ids.(r) cid
+          | Node.Symbolic_init _ ->
+              (* Unconstrained initial state: no init line. *)
+              ());
+          let id = alloc w in
+          line w "%d next %d %d %d" id srt ids.(r) ids.(rg.Node.next)
+      | _ -> assert false)
+    (Circuit.registers circuit);
+  (* Properties and outputs. *)
+  List.iter
+    (fun (name, s) ->
+      if name = bad_output then begin
+        let id = alloc w in
+        line w "%d bad %d %s" id ids.(s) name
+      end
+      else if name = constraint_output then begin
+        let id = alloc w in
+        line w "%d constraint %d %s" id ids.(s) name
+      end
+      else line w "; output %s = node %d" name ids.(s))
+    (Circuit.outputs circuit);
+  Buffer.contents w.buf
+
+let write_file ?bad_output ?constraint_output path circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?bad_output ?constraint_output circuit))
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type entity = Sort of int (* width *) | Node of int (* sort id *)
+
+let validate text =
+  let table : (int, entity) Hashtbl.t = Hashtbl.create 256 in
+  let last_id = ref 0 in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let sort_width sid =
+    match Hashtbl.find_opt table sid with
+    | Some (Sort w) -> Ok w
+    | Some (Node _) -> err "id %d is a node, not a sort" sid
+    | None -> err "undefined sort id %d" sid
+  in
+  let node_sort nid =
+    match Hashtbl.find_opt table nid with
+    | Some (Node s) -> Ok s
+    | Some (Sort _) -> err "id %d is a sort, not a node" nid
+    | None -> err "undefined node id %d" nid
+  in
+  let ( let* ) = Result.bind in
+  let check_line line =
+    let tokens =
+      String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+    in
+    match tokens with
+    | [] -> Ok ()
+    | first :: _ when String.length first > 0 && first.[0] = ';' -> Ok ()
+    | id_s :: rest -> (
+        match int_of_string_opt id_s with
+        | None -> err "bad id in line %S" line
+        | Some id ->
+            if id <= !last_id then err "non-increasing id %d" id
+            else begin
+              last_id := id;
+              match rest with
+              | [ "sort"; "bitvec"; w ] -> (
+                  match int_of_string_opt w with
+                  | Some w when w > 0 ->
+                      Hashtbl.replace table id (Sort w);
+                      Ok ()
+                  | _ -> err "bad sort width in %S" line)
+              | "input" :: sid :: _ | "state" :: sid :: _ ->
+                  let* _ = sort_width (int_of_string sid) in
+                  Hashtbl.replace table id (Node (int_of_string sid));
+                  Ok ()
+              | [ "const"; sid; bits ] ->
+                  let sid = int_of_string sid in
+                  let* w = sort_width sid in
+                  if String.length bits <> w then
+                    err "const width mismatch in %S" line
+                  else begin
+                    Hashtbl.replace table id (Node sid);
+                    Ok ()
+                  end
+              | [ ("not" | "neg"); sid; a ] ->
+                  let sid = int_of_string sid in
+                  let* _ = sort_width sid in
+                  let* sa = node_sort (int_of_string a) in
+                  if sa <> sid then err "unop sort mismatch in %S" line
+                  else begin
+                    Hashtbl.replace table id (Node sid);
+                    Ok ()
+                  end
+              | [ op; sid; a; b ]
+                when List.mem op
+                       [
+                         "and"; "or"; "xor"; "add"; "sub"; "mul"; "udiv";
+                         "urem"; "sll"; "srl"; "sra"; "eq"; "ult"; "slt";
+                         "concat"; "init"; "next";
+                       ] ->
+                  let sid = int_of_string sid in
+                  let* _ = sort_width sid in
+                  let* _ = node_sort (int_of_string a) in
+                  let* _ = node_sort (int_of_string b) in
+                  Hashtbl.replace table id (Node sid);
+                  Ok ()
+              | [ "ite"; sid; c; a; b ] ->
+                  let sid = int_of_string sid in
+                  let* _ = sort_width sid in
+                  let* sc = node_sort (int_of_string c) in
+                  let* cw = sort_width sc in
+                  let* _ = node_sort (int_of_string a) in
+                  let* _ = node_sort (int_of_string b) in
+                  if cw <> 1 then err "ite condition not a bit in %S" line
+                  else begin
+                    Hashtbl.replace table id (Node sid);
+                    Ok ()
+                  end
+              | [ "slice"; sid; a; hi; lo ] ->
+                  let sid = int_of_string sid in
+                  let* w = sort_width sid in
+                  let* sa = node_sort (int_of_string a) in
+                  let* wa = sort_width sa in
+                  let hi = int_of_string hi and lo = int_of_string lo in
+                  if lo < 0 || hi < lo || hi >= wa then
+                    err "slice bounds in %S" line
+                  else if w <> hi - lo + 1 then
+                    err "slice width mismatch in %S" line
+                  else begin
+                    Hashtbl.replace table id (Node sid);
+                    Ok ()
+                  end
+              | [ ("uext" | "sext"); sid; a; k ] ->
+                  let sid = int_of_string sid in
+                  let* w = sort_width sid in
+                  let* sa = node_sort (int_of_string a) in
+                  let* wa = sort_width sa in
+                  if w <> wa + int_of_string k then
+                    err "extension width mismatch in %S" line
+                  else begin
+                    Hashtbl.replace table id (Node sid);
+                    Ok ()
+                  end
+              | ("bad" | "constraint") :: a :: _ ->
+                  let* sa = node_sort (int_of_string a) in
+                  let* wa = sort_width sa in
+                  if wa <> 1 then err "property not a bit in %S" line
+                  else Ok ()
+              | _ -> err "unrecognized line %S" line
+            end)
+  in
+  try
+    List.fold_left
+      (fun acc line -> match acc with Error _ -> acc | Ok () -> check_line line)
+      (Ok ())
+      (String.split_on_char '\n' text)
+  with Failure _ -> Error "malformed integer"

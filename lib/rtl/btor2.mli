@@ -1,0 +1,36 @@
+(** BTOR2 export of finalized circuits.
+
+    BTOR2 (Niemetz et al., CAV'18) is the word-level model-checking format
+    the paper's toolchain uses (Yosys emits it, Pono consumes it).  This
+    writer lets every model built here — including the complete QED-top
+    verification models with their [bad] and [assume_ok] outputs — be
+    cross-checked with external model checkers such as Pono or BtorMC.
+
+    Mapping:
+    - inputs            -> [input]
+    - registers         -> [state] + [init] (constant initializers only;
+                           symbolic-initial registers get no [init], which
+                           is exactly BTOR2's unconstrained-state meaning)
+    - register next     -> [next]
+    - output ["bad"]    -> a [bad] property (asserted when the bit is 1)
+    - output ["assume_ok"] -> a [constraint]
+    - other outputs     -> named nodes (comment-labelled)
+
+    Shift semantics match: BTOR2's [sll]/[srl]/[sra] are defined for any
+    amount, like this library's. *)
+
+val to_string :
+  ?bad_output:string -> ?constraint_output:string -> Circuit.t -> string
+(** Serialize the circuit.  [bad_output] (default ["bad"]) and
+    [constraint_output] (default ["assume_ok"]) are looked up among the
+    circuit outputs and skipped silently when absent. *)
+
+val write_file :
+  ?bad_output:string -> ?constraint_output:string -> string -> Circuit.t -> unit
+
+val validate : string -> (unit, string) result
+(** Well-formedness check of BTOR2 text (used to validate this module's
+    own output and any hand-edited model): every line number strictly
+    increases, operands refer to previously defined ids, sorts exist and
+    are consistent for [state]/[init]/[next], and [bad]/[constraint]
+    arguments are single bits. *)

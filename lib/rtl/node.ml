@@ -1,0 +1,62 @@
+(* Internal node representation of the netlist.  Signals are indices into
+   the circuit's node table; children always have smaller indices than
+   their parents except for register [next] back-edges, so index order is a
+   valid combinational evaluation order by construction. *)
+
+module Bv = Sqed_bv.Bv
+
+type unop = Not | Neg
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | Eq
+  | Ult
+  | Slt
+  | Shl
+  | Lshr
+  | Ashr
+  | Concat
+
+type init =
+  | Const_init of Bv.t
+  | Symbolic_init of string
+      (** Register starts in an unconstrained state; the BMC layer exposes it
+          as a free variable with this name, the simulator reads it from the
+          initial-state environment. *)
+
+type reg = { reg_name : string; init : init; mutable next : int }
+
+type t =
+  | Input of string * int
+  | Const of Bv.t
+  | Unop of unop * int
+  | Binop of binop * int * int
+  | Ite of int * int * int
+  | Extract of int * int * int
+  | Zext of int * int
+  | Sext of int * int
+  | Reg of reg
+
+let binop_name = function
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Udiv -> "udiv"
+  | Urem -> "urem"
+  | Eq -> "eq"
+  | Ult -> "ult"
+  | Slt -> "slt"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+  | Concat -> "concat"

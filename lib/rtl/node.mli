@@ -1,0 +1,51 @@
+(** Netlist node representation (internal to the RTL layer, but exposed so
+    that exporters, simulators and the processor substrate can pattern
+    match on circuits).
+
+    Signals are indices into a circuit's node table; children always have
+    smaller indices than their parents, except for register [next]
+    back-edges, so index order is a valid combinational evaluation order by
+    construction. *)
+
+module Bv = Sqed_bv.Bv
+
+type unop = Not | Neg
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | Eq
+  | Ult
+  | Slt
+  | Shl
+  | Lshr
+  | Ashr
+  | Concat
+
+type init =
+  | Const_init of Bv.t
+  | Symbolic_init of string
+      (** Register starts in an unconstrained state; the BMC layer exposes
+          it as a free variable with this name, the simulator reads it from
+          the initial-state environment. *)
+
+type reg = { reg_name : string; init : init; mutable next : int }
+
+type t =
+  | Input of string * int
+  | Const of Bv.t
+  | Unop of unop * int
+  | Binop of binop * int * int
+  | Ite of int * int * int
+  | Extract of int * int * int
+  | Zext of int * int
+  | Sext of int * int
+  | Reg of reg
+
+val binop_name : binop -> string

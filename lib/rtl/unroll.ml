@@ -1,0 +1,120 @@
+module Bv = Sqed_bv.Bv
+module Term = Sqed_smt.Term
+
+type step_map = Term.t array (* node signal -> term, one array per step *)
+
+type t = {
+  circuit : Circuit.t;
+  free_initial_state : bool;
+  mutable steps : step_map list; (* reverse order: head is the last step *)
+  mutable nsteps : int;
+  reg_by_name : (string, int) Hashtbl.t;
+}
+
+let dummy = Term.tt
+
+let create ?(free_initial_state = false) circuit =
+  let reg_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match Circuit.node circuit r with
+      | Node.Reg rg -> Hashtbl.replace reg_by_name rg.Node.reg_name r
+      | _ -> assert false)
+    (Circuit.registers circuit);
+  { circuit; free_initial_state; steps = []; nsteps = 0; reg_by_name }
+
+let depth t = t.nsteps
+
+let reg_term t ~prev r rg =
+  match prev with
+  | None when t.free_initial_state ->
+      (* Arbitrary start (inductive step): ignore the initializer. *)
+      Term.var ("ind!" ^ rg.Node.reg_name) (Circuit.node_width t.circuit r)
+  | None -> (
+      (* Initial state. *)
+      match rg.Node.init with
+      | Node.Const_init v -> Term.const v
+      | Node.Symbolic_init name ->
+          Term.var name (Circuit.node_width t.circuit r))
+  | Some prev_map ->
+      (* Value latched at the previous step's clock edge. *)
+      prev_map.(rg.Node.next)
+
+let extend t =
+  let step = t.nsteps in
+  let prev = match t.steps with [] -> None | m :: _ -> Some m in
+  let n = Circuit.num_nodes t.circuit in
+  let map = Array.make n dummy in
+  for s = 0 to n - 1 do
+    let term =
+      match Circuit.node t.circuit s with
+      | Node.Input (name, w) -> Term.var (Printf.sprintf "%s@%d" name step) w
+      | Node.Const v -> Term.const v
+      | Node.Unop (Node.Not, x) -> Term.not_ map.(x)
+      | Node.Unop (Node.Neg, x) -> Term.neg map.(x)
+      | Node.Binop (op, x, y) -> (
+          let a = map.(x) and b = map.(y) in
+          match op with
+          | Node.And -> Term.and_ a b
+          | Node.Or -> Term.or_ a b
+          | Node.Xor -> Term.xor a b
+          | Node.Add -> Term.add a b
+          | Node.Sub -> Term.sub a b
+          | Node.Mul -> Term.mul a b
+          | Node.Udiv -> Term.udiv a b
+          | Node.Urem -> Term.urem a b
+          | Node.Eq -> Term.eq a b
+          | Node.Ult -> Term.ult a b
+          | Node.Slt -> Term.slt a b
+          | Node.Shl -> Term.shl a b
+          | Node.Lshr -> Term.lshr a b
+          | Node.Ashr -> Term.ashr a b
+          | Node.Concat -> Term.concat a b)
+      | Node.Ite (c, x, y) -> Term.ite map.(c) map.(x) map.(y)
+      | Node.Extract (hi, lo, x) -> Term.extract ~hi ~lo map.(x)
+      | Node.Zext (w, x) -> Term.zext map.(x) w
+      | Node.Sext (w, x) -> Term.sext map.(x) w
+      | Node.Reg rg -> reg_term t ~prev s rg
+    in
+    map.(s) <- term
+  done;
+  t.steps <- map :: t.steps;
+  t.nsteps <- step + 1
+
+let extend_to t k =
+  while t.nsteps < k do
+    extend t
+  done
+
+let step_map t step =
+  if step < 0 || step >= t.nsteps then invalid_arg "Unroll: step out of range";
+  List.nth t.steps (t.nsteps - 1 - step)
+
+let input t ~step name =
+  if step < 0 || step >= t.nsteps then invalid_arg "Unroll: step out of range";
+  (* Inputs are plain variables; reconstruct the name directly so callers
+     can constrain inputs without hunting for the node id. *)
+  let w =
+    match List.assoc_opt name (Circuit.inputs t.circuit) with
+    | Some w -> w
+    | None -> failwith (Printf.sprintf "Unroll: no input %S" name)
+  in
+  Term.var (Printf.sprintf "%s@%d" name step) w
+
+let output t ~step name =
+  let map = step_map t step in
+  map.(Circuit.output_signal t.circuit name)
+
+let reg_at t ~step name =
+  match Hashtbl.find_opt t.reg_by_name name with
+  | Some r -> (step_map t step).(r)
+  | None -> failwith (Printf.sprintf "Unroll: no register %S" name)
+
+let init_vars t =
+  List.filter_map
+    (fun r ->
+      match Circuit.node t.circuit r with
+      | Node.Reg { Node.init = Node.Symbolic_init name; _ } ->
+          Some (name, Circuit.node_width t.circuit r)
+      | _ -> None)
+    (Circuit.registers t.circuit)

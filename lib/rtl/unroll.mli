@@ -1,0 +1,32 @@
+(** Symbolic unrolling of a circuit into QF_BV terms (bounded model
+    checking front-end).
+
+    Step [t] inputs become fresh variables named ["name@t"]; registers with
+    [Symbolic_init] become variables named after their init name; register
+    values at step [t+1] are the next-state terms of step [t]. *)
+
+module Term = Sqed_smt.Term
+
+type t
+
+val create : ?free_initial_state:bool -> Circuit.t -> t
+(** With [free_initial_state] every register starts from a fresh variable
+    [ind!<name>] regardless of its declared initializer — the arbitrary
+    starting state needed by the inductive step of k-induction. *)
+
+val depth : t -> int
+(** Number of steps unrolled so far. *)
+
+val extend : t -> unit
+(** Unroll one more step. *)
+
+val extend_to : t -> int -> unit
+(** Ensure at least the given number of steps. *)
+
+val input : t -> step:int -> string -> Term.t
+val output : t -> step:int -> string -> Term.t
+val reg_at : t -> step:int -> string -> Term.t
+(** Register value entering the given step (by register name). *)
+
+val init_vars : t -> (string * int) list
+(** Names and widths of the symbolic-initial-state variables. *)

@@ -1,0 +1,131 @@
+module Bv = Sqed_bv.Bv
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let bv_literal v =
+  Printf.sprintf "%d'b%s" (Bv.width v) (Bv.to_binary_string v)
+
+let to_string ?(module_name = "qed_top") circuit =
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let n = Circuit.num_nodes circuit in
+  let width s = Circuit.node_width circuit s in
+  (* Every node gets a wire name; inputs and registers use their own. *)
+  let name = Array.make n "" in
+  for s = 0 to n - 1 do
+    name.(s) <-
+      (match Circuit.node circuit s with
+      | Node.Input (nm, _) -> sanitize nm
+      | Node.Reg rg -> "r_" ^ sanitize rg.Node.reg_name
+      | _ -> Printf.sprintf "n%d" s)
+  done;
+  let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1) in
+  let ins = Circuit.inputs circuit in
+  let outs = Circuit.outputs circuit in
+  out "// Verilog export of circuit %s" (Circuit.name circuit);
+  out "// %s" (Circuit.stats circuit);
+  out "module %s (" module_name;
+  out "  input  wire clk,";
+  out "  input  wire rst,";
+  List.iter
+    (fun (nm, w) -> out "  input  wire %s%s," (range w) (sanitize nm))
+    ins;
+  let rec emit_outs = function
+    | [] -> ()
+    | [ (nm, s) ] -> out "  output wire %s%s" (range (width s)) (sanitize nm)
+    | (nm, s) :: rest ->
+        out "  output wire %s%s," (range (width s)) (sanitize nm);
+        emit_outs rest
+  in
+  emit_outs outs;
+  out ");";
+  out "";
+  (* Declarations. *)
+  for s = 0 to n - 1 do
+    match Circuit.node circuit s with
+    | Node.Input _ -> ()
+    | Node.Reg _ -> out "  reg  %s%s;" (range (width s)) name.(s)
+    | _ -> out "  wire %s%s;" (range (width s)) name.(s)
+  done;
+  out "";
+  (* Combinational fabric. *)
+  let v s = name.(s) in
+  for s = 0 to n - 1 do
+    let assign rhs = out "  assign %s = %s;" name.(s) rhs in
+    match Circuit.node circuit s with
+    | Node.Input _ | Node.Reg _ -> ()
+    | Node.Const c -> assign (bv_literal c)
+    | Node.Unop (Node.Not, x) -> assign (Printf.sprintf "~%s" (v x))
+    | Node.Unop (Node.Neg, x) -> assign (Printf.sprintf "-%s" (v x))
+    | Node.Binop (op, x, y) -> (
+        let bin fmt = assign (Printf.sprintf fmt (v x) (v y)) in
+        match op with
+        | Node.And -> bin "%s & %s"
+        | Node.Or -> bin "%s | %s"
+        | Node.Xor -> bin "%s ^ %s"
+        | Node.Add -> bin "%s + %s"
+        | Node.Sub -> bin "%s - %s"
+        | Node.Mul -> bin "%s * %s"
+        (* Verilog x/0 is X, unlike the model's all-ones convention; the
+           exported netlist is for synthesis flows that guard the divisor. *)
+        | Node.Udiv -> bin "%s / %s"
+        | Node.Urem -> bin "%s %% %s"
+        | Node.Eq -> bin "%s == %s"
+        | Node.Ult -> bin "%s < %s"
+        | Node.Slt -> bin "$signed(%s) < $signed(%s)"
+        | Node.Shl -> bin "%s << %s"
+        | Node.Lshr -> bin "%s >> %s"
+        | Node.Ashr -> bin "$signed(%s) >>> %s"
+        | Node.Concat -> bin "{%s, %s}")
+    | Node.Ite (c, x, y) ->
+        assign (Printf.sprintf "%s ? %s : %s" (v c) (v x) (v y))
+    | Node.Extract (hi, lo, x) ->
+        if Circuit.node_width circuit x = 1 then assign (v x)
+        else if hi = lo then assign (Printf.sprintf "%s[%d]" (v x) hi)
+        else assign (Printf.sprintf "%s[%d:%d]" (v x) hi lo)
+    | Node.Zext (w, x) ->
+        let extra = w - Circuit.node_width circuit x in
+        assign (Printf.sprintf "{{%d{1'b0}}, %s}" extra (v x))
+    | Node.Sext (w, x) ->
+        let xw = Circuit.node_width circuit x in
+        let extra = w - xw in
+        assign
+          (Printf.sprintf "{{%d{%s[%d]}}, %s}" extra (v x) (xw - 1) (v x))
+  done;
+  out "";
+  (* State. *)
+  List.iter
+    (fun r ->
+      match Circuit.node circuit r with
+      | Node.Reg rg -> (
+          match rg.Node.init with
+          | Node.Const_init c ->
+              out "  always @(posedge clk)";
+              out "    if (rst) %s <= %s;" name.(r) (bv_literal c);
+              out "    else %s <= %s;" name.(r) name.(rg.Node.next)
+          | Node.Symbolic_init _ ->
+              (* Power-up value left free, as in the formal model. *)
+              out "  always @(posedge clk) %s <= %s;" name.(r)
+                name.(rg.Node.next))
+      | _ -> assert false)
+    (Circuit.registers circuit);
+  out "";
+  (* Output bindings. *)
+  List.iter
+    (fun (nm, s) -> out "  assign %s = %s;" (sanitize nm) name.(s))
+    outs;
+  out "";
+  out "endmodule";
+  Buffer.contents buf
+
+let write_file ?module_name path circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?module_name circuit))

@@ -1,0 +1,15 @@
+(** Synthesizable Verilog-2001 export of finalized circuits.
+
+    Produces one flat module: inputs become input ports, outputs become
+    output ports, registers become flip-flops with synchronous next-state
+    logic clocked on [clk] (constant initializers are applied on [rst];
+    symbolic-initial registers simply keep their power-up value).  The
+    combinational fabric is emitted as wire assignments in index order.
+
+    This makes the DUV, and the complete QED-top verification models,
+    consumable by standard EDA flows (simulation, or Yosys back into the
+    BTOR2 route the paper used). *)
+
+val to_string : ?module_name:string -> Circuit.t -> string
+
+val write_file : ?module_name:string -> string -> Circuit.t -> unit

@@ -1,0 +1,96 @@
+module Bv = Sqed_bv.Bv
+
+type t = {
+  mutable order : string list; (* reverse first-seen order *)
+  values : (string, Bv.t option list ref) Hashtbl.t;
+  mutable cycles : int;
+}
+
+let create () = { order = []; values = Hashtbl.create 32; cycles = 0 }
+
+let record t env =
+  let cycle = t.cycles in
+  t.cycles <- cycle + 1;
+  List.iter
+    (fun (name, v) ->
+      let cell =
+        match Hashtbl.find_opt t.values name with
+        | Some c -> c
+        | None ->
+            t.order <- name :: t.order;
+            let c = ref [] in
+            Hashtbl.replace t.values name c;
+            c
+      in
+      (* Pad with gaps if the signal was absent in earlier cycles. *)
+      while List.length !cell < cycle do
+        cell := None :: !cell
+      done;
+      cell := Some v :: !cell)
+    env
+
+let record_outputs t sim inputs = record t (Sim.cycle sim inputs)
+
+let render_bit = function
+  | None -> '.'
+  | Some v -> if Bv.is_zero v then '_' else '#'
+
+let to_string ?signals t =
+  let names =
+    match signals with Some s -> s | None -> List.rev t.order
+  in
+  let width_of name =
+    match Hashtbl.find_opt t.values name with
+    | Some { contents = Some v :: _ } -> Bv.width v
+    | _ -> (
+        match Hashtbl.find_opt t.values name with
+        | Some cell ->
+            List.fold_left
+              (fun acc v -> match v with Some v -> max acc (Bv.width v) | None -> acc)
+              1 !cell
+        | None -> 1)
+  in
+  let label_w =
+    List.fold_left (fun acc n -> max acc (String.length n)) 4 names
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.values name with
+      | None -> ()
+      | Some cell ->
+          let vals =
+            let l = List.rev !cell in
+            (* Pad to the full trace length. *)
+            l @ List.init (max 0 (t.cycles - List.length l)) (fun _ -> None)
+          in
+          Buffer.add_string buf (Printf.sprintf "%-*s " label_w name);
+          if width_of name = 1 then
+            List.iter (fun v -> Buffer.add_char buf (render_bit v)) vals
+          else begin
+            (* Hex cells separated by '|' when the value changes. *)
+            let hexw = (width_of name + 3) / 4 in
+            let prev = ref None in
+            List.iter
+              (fun v ->
+                let s =
+                  match v with
+                  | None -> String.make hexw '.'
+                  | Some v -> Bv.to_hex_string v
+                in
+                let changed =
+                  match (!prev, v) with
+                  | Some p, Some v -> not (Bv.equal p v)
+                  | None, Some _ -> true
+                  | _, None -> false
+                in
+                Buffer.add_char buf (if changed then '|' else ' ');
+                Buffer.add_string buf s;
+                prev := (match v with Some v -> Some v | None -> !prev))
+              vals
+          end;
+          Buffer.add_char buf '\n')
+    names;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,22 @@
+(** ASCII waveform rendering of simulation traces. *)
+
+module Bv = Sqed_bv.Bv
+
+type t
+
+val create : unit -> t
+
+val record : t -> (string * Bv.t) list -> unit
+(** Append one cycle's signal values (typically [Sim.cycle]'s outputs,
+    possibly augmented with register values). *)
+
+val record_outputs : t -> Sim.t -> (string * Bv.t) list -> unit
+(** Convenience: run [Sim.cycle] and record its outputs. *)
+
+val to_string : ?signals:string list -> t -> string
+(** Render as one row per signal, one column per cycle.  Single-bit
+    signals draw as [_] / [#]; wider signals print hex values with change
+    markers.  [signals] restricts and orders the rows (default: every
+    recorded signal, in first-seen order). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,686 @@
+(* CDCL solver in the MiniSat lineage: two-watched literals, VSIDS with a
+   binary heap, phase saving, 1UIP learning with local minimization, Luby
+   restarts and learnt-clause reduction.  Performance matters here: the
+   bit-blasted BMC instances reach hundreds of thousands of clauses. *)
+
+type lit = int
+
+let pos v = 2 * v
+let neg_of_var v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+
+type clause = {
+  mutable lits : lit array;
+  mutable act : float;
+  mutable lbd : int;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+(* Growable array of clauses (watch lists, clause databases). *)
+module Cvec = struct
+  type t = { mutable data : clause array; mutable sz : int }
+
+  let dummy_clause =
+    { lits = [||]; act = 0.0; lbd = 0; learnt = false; deleted = true }
+  let create () = { data = Array.make 4 dummy_clause; sz = 0 }
+
+  let push v c =
+    if v.sz = Array.length v.data then begin
+      let d = Array.make (2 * v.sz) dummy_clause in
+      Array.blit v.data 0 d 0 v.sz;
+      v.data <- d
+    end;
+    v.data.(v.sz) <- c;
+    v.sz <- v.sz + 1
+
+  let clear v = v.sz <- 0
+end
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+type t = {
+  mutable nvars : int;
+  clauses : Cvec.t; (* problem clauses *)
+  learnts : Cvec.t;
+  mutable watches : Cvec.t array; (* indexed by literal *)
+  mutable assign : int array; (* per var: -1 undef, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable polarity : bool array; (* saved phase *)
+  mutable seen : bool array;
+  mutable trail : int array;
+  mutable trail_sz : int;
+  mutable trail_lim : int array;
+  mutable trail_lim_sz : int;
+  mutable qhead : int;
+  mutable heap : int array;
+  mutable heap_sz : int;
+  mutable heap_pos : int array; (* -1 if not in heap *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool; (* false once the empty clause was derived *)
+  mutable model : bool array;
+  mutable has_model : bool;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learnt_lits : int;
+  mutable max_learnts : float;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Cvec.create ();
+    learnts = Cvec.create ();
+    watches = Array.init 2 (fun _ -> Cvec.create ());
+    assign = Array.make 1 (-1);
+    level = Array.make 1 0;
+    reason = Array.make 1 None;
+    activity = Array.make 1 0.0;
+    polarity = Array.make 1 false;
+    seen = Array.make 1 false;
+    trail = Array.make 16 0;
+    trail_sz = 0;
+    trail_lim = Array.make 16 0;
+    trail_lim_sz = 0;
+    qhead = 0;
+    heap = Array.make 16 0;
+    heap_sz = 0;
+    heap_pos = Array.make 1 (-1);
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    model = [||];
+    has_model = false;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+    n_learnt_lits = 0;
+    max_learnts = 0.0;
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = s.clauses.Cvec.sz
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_lits;
+  }
+
+(* -- variable order heap (max-heap on activity) ---------------------- *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_sz && heap_lt s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_sz && heap_lt s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    if s.heap_sz = Array.length s.heap then begin
+      let d = Array.make (2 * s.heap_sz) 0 in
+      Array.blit s.heap 0 d 0 s.heap_sz;
+      s.heap <- d
+    end;
+    s.heap.(s.heap_sz) <- v;
+    s.heap_pos.(v) <- s.heap_sz;
+    s.heap_sz <- s.heap_sz + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_sz <- s.heap_sz - 1;
+  s.heap.(0) <- s.heap.(s.heap_sz);
+  s.heap_pos.(s.heap.(0)) <- 0;
+  s.heap_pos.(v) <- -1;
+  if s.heap_sz > 0 then heap_down s 0;
+  v
+
+(* -- variable allocation --------------------------------------------- *)
+
+let grow_array a n dflt =
+  let len = Array.length a in
+  if n <= len then a
+  else begin
+    let d = Array.make (max n (2 * len)) dflt in
+    Array.blit a 0 d 0 len;
+    d
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  let n = s.nvars in
+  s.assign <- grow_array s.assign n (-1);
+  s.level <- grow_array s.level n 0;
+  s.reason <- grow_array s.reason n None;
+  s.activity <- grow_array s.activity n 0.0;
+  s.polarity <- grow_array s.polarity n false;
+  s.seen <- grow_array s.seen n false;
+  s.heap_pos <- grow_array s.heap_pos n (-1);
+  if Array.length s.watches < 2 * n then begin
+    let d = Array.init (max (2 * n) (2 * Array.length s.watches)) (fun _ -> Cvec.create ()) in
+    Array.blit s.watches 0 d 0 (Array.length s.watches);
+    s.watches <- d
+  end;
+  if Array.length s.trail < n then s.trail <- grow_array s.trail n 0;
+  heap_insert s v;
+  v
+
+(* -- assignment ------------------------------------------------------- *)
+
+let lit_val s l =
+  (* -1 undef, 0 false, 1 true *)
+  let a = s.assign.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = s.trail_lim_sz
+
+let enqueue s l reason =
+  s.assign.(var_of l) <- 1 lxor (l land 1);
+  s.level.(var_of l) <- decision_level s;
+  s.reason.(var_of l) <- reason;
+  s.polarity.(var_of l) <- is_pos l;
+  s.trail.(s.trail_sz) <- l;
+  s.trail_sz <- s.trail_sz + 1
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let cla_bump s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    for i = 0 to s.learnts.Cvec.sz - 1 do
+      let d = s.learnts.Cvec.data.(i) in
+      d.act <- d.act *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+(* -- clause addition -------------------------------------------------- *)
+
+let watch s c =
+  Cvec.push s.watches.(c.lits.(0)) c;
+  Cvec.push s.watches.(c.lits.(1)) c
+
+exception Early_unsat
+
+let add_clause_internal s lits =
+  if s.ok then begin
+    (* Simplify: drop duplicate and false (level-0) literals; detect
+       tautologies and satisfied clauses. *)
+    let lits = Array.copy lits in
+    Array.sort compare lits;
+    let out = ref [] in
+    let taut = ref false in
+    let last = ref (-2) in
+    Array.iter
+      (fun l ->
+        if l = negate !last then taut := true;
+        if l <> !last then begin
+          last := l;
+          match lit_val s l with
+          | 1 when s.level.(var_of l) = 0 -> taut := true
+          | 0 when s.level.(var_of l) = 0 -> () (* false at top level: drop *)
+          | _ -> out := l :: !out
+        end)
+      lits;
+    if not !taut then begin
+      match !out with
+      | [] ->
+          s.ok <- false;
+          raise Early_unsat
+      | [ l ] ->
+          if decision_level s <> 0 then
+            invalid_arg "Sat.add_clause: units only at level 0";
+          (match lit_val s l with
+          | 1 -> ()
+          | 0 ->
+              s.ok <- false;
+              raise Early_unsat
+          | _ -> enqueue s l None)
+      | ls ->
+          let c =
+            {
+              lits = Array.of_list ls;
+              act = 0.0;
+              lbd = 0;
+              learnt = false;
+              deleted = false;
+            }
+          in
+          Cvec.push s.clauses c;
+          watch s c
+    end
+  end
+
+let add_clause_a s lits =
+  try add_clause_internal s lits with Early_unsat -> ()
+
+let add_clause s lits = add_clause_a s (Array.of_list lits)
+
+(* -- propagation ------------------------------------------------------ *)
+
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < s.trail_sz do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let false_lit = negate p in
+    let ws = s.watches.(false_lit) in
+    let i = ref 0 and j = ref 0 in
+    let n = ws.Cvec.sz in
+    (try
+       while !i < n do
+         let c = ws.Cvec.data.(!i) in
+         incr i;
+         if c.deleted then () (* dropped lazily *)
+         else begin
+           (* Make sure the false literal is at position 1. *)
+           if c.lits.(0) = false_lit then begin
+             c.lits.(0) <- c.lits.(1);
+             c.lits.(1) <- false_lit
+           end;
+           if lit_val s c.lits.(0) = 1 then begin
+             ws.Cvec.data.(!j) <- c;
+             incr j
+           end
+           else begin
+             (* Look for a new literal to watch. *)
+             let len = Array.length c.lits in
+             let k = ref 2 in
+             while !k < len && lit_val s c.lits.(!k) = 0 do
+               incr k
+             done;
+             if !k < len then begin
+               c.lits.(1) <- c.lits.(!k);
+               c.lits.(!k) <- false_lit;
+               Cvec.push s.watches.(c.lits.(1)) c
+             end
+             else begin
+               ws.Cvec.data.(!j) <- c;
+               incr j;
+               if lit_val s c.lits.(0) = 0 then begin
+                 (* Conflict: copy the remaining watchers back. *)
+                 s.qhead <- s.trail_sz;
+                 while !i < n do
+                   ws.Cvec.data.(!j) <- ws.Cvec.data.(!i);
+                   incr i;
+                   incr j
+                 done;
+                 confl := Some c;
+                 raise Exit
+               end
+               else enqueue s c.lits.(0) (Some c)
+             end
+           end
+         end
+       done
+     with Exit -> ());
+    ws.Cvec.sz <- !j
+  done;
+  !confl
+
+(* -- backtracking ------------------------------------------------------ *)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_sz - 1 downto bound do
+      let v = var_of s.trail.(i) in
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    s.trail_sz <- bound;
+    s.qhead <- bound;
+    s.trail_lim_sz <- lvl
+  end
+
+let new_decision_level s =
+  if s.trail_lim_sz = Array.length s.trail_lim then
+    s.trail_lim <- grow_array s.trail_lim (2 * s.trail_lim_sz) 0;
+  s.trail_lim.(s.trail_lim_sz) <- s.trail_sz;
+  s.trail_lim_sz <- s.trail_lim_sz + 1
+
+(* -- conflict analysis (first UIP) ------------------------------------- *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_sz - 1) in
+  let confl = ref (Some confl) in
+  let bt_level = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+        if c.learnt then cla_bump s c;
+        let start = if !p = -1 then 0 else 1 in
+        for k = start to Array.length c.lits - 1 do
+          let q = c.lits.(k) in
+          let v = var_of q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            var_bump s v;
+            if s.level.(v) >= decision_level s then incr path
+            else begin
+              learnt := q :: !learnt;
+              if s.level.(v) > !bt_level then bt_level := s.level.(v)
+            end
+          end
+        done);
+    (* Walk the trail backwards to the next marked literal. *)
+    while not s.seen.(var_of s.trail.(!idx)) do
+      decr idx
+    done;
+    let q = s.trail.(!idx) in
+    decr idx;
+    s.seen.(var_of q) <- false;
+    confl := s.reason.(var_of q);
+    decr path;
+    if !path = 0 then begin
+      p := negate q;
+      continue := false
+    end
+    else begin
+      (* [q]'s reason contributes; mark that the first literal of the reason
+         (q itself) is skipped via start=1 in the next round. *)
+      p := q
+    end
+  done;
+  (* Recursive clause minimization: a literal is redundant when every
+     path through its implication graph ancestry ends in literals already
+     in the learnt clause (or fixed at level 0). *)
+  List.iter (fun l -> s.seen.(var_of l) <- true) !learnt;
+  let extra_seen = ref [] in
+  let rec lit_redundant l depth =
+    if depth > 48 then false
+    else
+      match s.reason.(var_of l) with
+      | None -> false
+      | Some c ->
+          Array.for_all
+            (fun q ->
+              q = negate l
+              || s.level.(var_of q) = 0
+              || s.seen.(var_of q)
+              ||
+              (s.reason.(var_of q) <> None
+              && lit_redundant q (depth + 1)
+              &&
+              (s.seen.(var_of q) <- true;
+               extra_seen := q :: !extra_seen;
+               true)))
+            c.lits
+  in
+  let kept = List.filter (fun l -> not (lit_redundant l 0)) !learnt in
+  List.iter (fun l -> s.seen.(var_of l) <- false) !learnt;
+  List.iter (fun l -> s.seen.(var_of l) <- false) !extra_seen;
+  (* Recompute the backtrack level from the kept literals. *)
+  let bt = List.fold_left (fun acc l -> max acc (s.level.(var_of l))) 0 kept in
+  bt_level := if kept = [] then 0 else bt;
+  (* Literal-block distance: number of distinct decision levels. *)
+  let lbd =
+    let levels = List.sort_uniq compare (List.map (fun l -> s.level.(var_of l)) (!p :: kept)) in
+    List.length levels
+  in
+  (!p :: kept, !bt_level, lbd)
+
+let record_learnt s lits lbd =
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] ->
+      cancel_until s 0;
+      if lit_val s l = 0 then s.ok <- false else if lit_val s l = -1 then enqueue s l None
+  | asserting :: _ ->
+      let arr = Array.of_list lits in
+      (* Put a highest-level literal (other than the asserting one) in
+         position 1 so the watches are correct after backjumping. *)
+      let best = ref 1 in
+      for k = 2 to Array.length arr - 1 do
+        if s.level.(var_of arr.(k)) > s.level.(var_of arr.(!best)) then best := k
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!best);
+      arr.(!best) <- tmp;
+      let c = { lits = arr; act = 0.0; lbd; learnt = true; deleted = false } in
+      cla_bump s c;
+      Cvec.push s.learnts c;
+      watch s c;
+      s.n_learnt_lits <- s.n_learnt_lits + Array.length arr;
+      enqueue s asserting (Some c)
+
+(* -- learnt clause DB reduction ---------------------------------------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = var_of c.lits.(0) in
+  match s.reason.(v) with Some r -> r == c && s.assign.(v) >= 0 | None -> false
+
+let reduce_db s =
+  let l = s.learnts in
+  let arr = Array.sub l.Cvec.data 0 l.Cvec.sz in
+  (* Worst first: high LBD, then low activity (glue clauses survive). *)
+  Array.sort
+    (fun a b ->
+      let c = Stdlib.compare b.lbd a.lbd in
+      if c <> 0 then c else Stdlib.compare a.act b.act)
+    arr;
+  let half = Array.length arr / 2 in
+  Array.iteri
+    (fun i c ->
+      if
+        i < half && c.lbd > 3 && Array.length c.lits > 2 && not (locked s c)
+      then c.deleted <- true)
+    arr;
+  Cvec.clear l;
+  Array.iter (fun c -> if not c.deleted then Cvec.push l c) arr
+
+(* -- decision ----------------------------------------------------------- *)
+
+let pick_branch_var s =
+  let v = ref (-1) in
+  while !v = -1 && s.heap_sz > 0 do
+    let cand = heap_pop s in
+    if s.assign.(cand) < 0 then v := cand
+  done;
+  !v
+
+(* -- Luby sequence ------------------------------------------------------ *)
+
+let luby x =
+  (* MiniSat's finite-subsequence formulation of the Luby sequence. *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  Float.of_int (1 lsl !seq)
+
+type result = Sat | Unsat | Unknown
+
+exception Found of result
+
+let solve ?(assumptions = []) ?max_conflicts ?deadline s =
+  s.has_model <- false;
+  if not s.ok then Unsat
+  else begin
+    let assumptions = Array.of_list assumptions in
+    (match propagate s with
+    | Some _ -> s.ok <- false
+    | None -> ());
+    if not s.ok then Unsat
+    else begin
+      let restart_limit = ref 0.0 in
+      let conflicts_here = ref 0 in
+      let start_conflicts = s.n_conflicts in
+      if s.max_learnts = 0.0 then
+        s.max_learnts <- max 4000.0 (Float.of_int s.clauses.Cvec.sz /. 3.0);
+      let result =
+        try
+          s.n_restarts <- s.n_restarts - 1;
+          (* restart loop *)
+          let round = ref 0 in
+          while true do
+            s.n_restarts <- s.n_restarts + 1;
+            restart_limit := luby !round *. 100.0;
+            incr round;
+            conflicts_here := 0;
+            cancel_until s 0;
+            (* search *)
+            (try
+               while true do
+                 match propagate s with
+                 | Some confl ->
+                     s.n_conflicts <- s.n_conflicts + 1;
+                     incr conflicts_here;
+                     (match max_conflicts with
+                     | Some m when s.n_conflicts - start_conflicts >= m ->
+                         raise (Found Unknown)
+                     | _ -> ());
+                     (match deadline with
+                     | Some d
+                       when s.n_conflicts land 1023 = 0
+                            && Unix.gettimeofday () > d ->
+                         raise (Found Unknown)
+                     | _ -> ());
+                     if decision_level s = 0 then begin
+                       s.ok <- false;
+                       raise (Found Unsat)
+                     end;
+                     let learnt, bt, lbd = analyze s confl in
+                     cancel_until s bt;
+                     record_learnt s learnt lbd;
+                     if not s.ok then raise (Found Unsat);
+                     s.var_inc <- s.var_inc *. var_decay;
+                     s.cla_inc <- s.cla_inc *. clause_decay;
+                     if Float.of_int !conflicts_here >= !restart_limit then
+                       raise Exit
+                 | None ->
+                     if Float.of_int s.learnts.Cvec.sz -. Float.of_int s.trail_sz
+                        >= s.max_learnts
+                     then begin
+                       reduce_db s;
+                       s.max_learnts <- s.max_learnts *. 1.05
+                     end;
+                     (* Assumption and decision handling. *)
+                     if decision_level s < Array.length assumptions then begin
+                       let a = assumptions.(decision_level s) in
+                       match lit_val s a with
+                       | 1 -> new_decision_level s
+                       | 0 -> raise (Found Unsat)
+                       | _ ->
+                           new_decision_level s;
+                           enqueue s a None
+                     end
+                     else begin
+                       let v = pick_branch_var s in
+                       if v = -1 then begin
+                         (* All variables assigned: model found. *)
+                         s.model <- Array.make s.nvars false;
+                         for i = 0 to s.nvars - 1 do
+                           s.model.(i) <- s.assign.(i) = 1
+                         done;
+                         s.has_model <- true;
+                         raise (Found Sat)
+                       end;
+                       s.n_decisions <- s.n_decisions + 1;
+                       new_decision_level s;
+                       let l = if s.polarity.(v) then pos v else neg_of_var v in
+                       enqueue s l None
+                     end
+               done
+             with Exit -> ())
+          done;
+          assert false
+        with Found r -> r
+      in
+      cancel_until s 0;
+      result
+    end
+  end
+
+let value s v =
+  if not s.has_model then failwith "Sat.value: no model available";
+  if v < Array.length s.model then s.model.(v) else false
+
+let lit_value s l =
+  let b = value s (var_of l) in
+  if is_pos l then b else not b
+
+let to_dimacs s =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" s.nvars s.clauses.Cvec.sz);
+  for i = 0 to s.clauses.Cvec.sz - 1 do
+    let c = s.clauses.Cvec.data.(i) in
+    Array.iter
+      (fun l ->
+        let v = var_of l + 1 in
+        Buffer.add_string buf (string_of_int (if is_pos l then v else -v));
+        Buffer.add_char buf ' ')
+      c.lits;
+    Buffer.add_string buf "0\n"
+  done;
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(** A CDCL SAT solver.
+
+    Features: two-watched-literal propagation, VSIDS decision heuristic with
+    phase saving, first-UIP conflict analysis with clause minimization, Luby
+    restarts, learnt-clause database reduction, and solving under
+    assumptions.  Built for the bit-blasted QF_BV queries issued by
+    {!Sqed_smt} (CEGIS and BMC workloads). *)
+
+type t
+
+type lit = int
+(** Literals are [2 * var] (positive) or [2 * var + 1] (negated). *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg_of_var : int -> lit
+(** Negative literal of a variable. *)
+
+val negate : lit -> lit
+val var_of : lit -> int
+val is_pos : lit -> bool
+
+val add_clause : t -> lit list -> unit
+(** Add a clause.  Adding the empty clause (or a clause that simplifies to
+    it) makes the instance permanently unsatisfiable. *)
+
+val add_clause_a : t -> lit array -> unit
+
+type result = Sat | Unsat | Unknown
+
+val solve :
+  ?assumptions:lit list -> ?max_conflicts:int -> ?deadline:float -> t -> result
+(** Solve under the given assumptions.  The solver is reusable: further
+    clauses may be added and [solve] called again (incremental use).
+    [max_conflicts] bounds the search effort and [deadline] (an absolute
+    [Unix.gettimeofday] instant, polled every 1024 conflicts) bounds wall
+    time; when either is exceeded the answer is [Unknown]. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer.  Unconstrained variables
+    read [false].  Raises [Failure] if the last call did not return [Sat]. *)
+
+val lit_value : t -> lit -> bool
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+val stats : t -> stats
+
+val to_dimacs : t -> string
+(** The problem clauses (not learnt ones) in DIMACS format, for
+    cross-checking instances with external SAT solvers. *)

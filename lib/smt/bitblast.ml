@@ -1,0 +1,254 @@
+module Bv = Sqed_bv.Bv
+module Sat = Sqed_sat.Sat
+
+type t = {
+  sat : Sat.t;
+  cache : (int, Sat.lit array) Hashtbl.t; (* term id -> lits *)
+  vars : (string * int, Sat.lit array) Hashtbl.t; (* (name, width) *)
+  tlit : Sat.lit;
+}
+
+let create sat =
+  let v = Sat.new_var sat in
+  let tlit = Sat.pos v in
+  Sat.add_clause sat [ tlit ];
+  { sat; cache = Hashtbl.create 1024; vars = Hashtbl.create 64; tlit }
+
+let true_lit b = b.tlit
+let false_lit b = Sat.negate b.tlit
+
+let fresh b = Sat.pos (Sat.new_var b.sat)
+
+let is_true b l = l = b.tlit
+let is_false b l = l = Sat.negate b.tlit
+
+(* -- gates (with constant propagation) --------------------------------- *)
+
+let and_gate b a c =
+  if is_false b a || is_false b c then false_lit b
+  else if is_true b a then c
+  else if is_true b c then a
+  else if a = c then a
+  else if a = Sat.negate c then false_lit b
+  else begin
+    let g = fresh b in
+    Sat.add_clause b.sat [ Sat.negate g; a ];
+    Sat.add_clause b.sat [ Sat.negate g; c ];
+    Sat.add_clause b.sat [ g; Sat.negate a; Sat.negate c ];
+    g
+  end
+
+let or_gate b a c = Sat.negate (and_gate b (Sat.negate a) (Sat.negate c))
+
+let xor_gate b a c =
+  if is_false b a then c
+  else if is_false b c then a
+  else if is_true b a then Sat.negate c
+  else if is_true b c then Sat.negate a
+  else if a = c then false_lit b
+  else if a = Sat.negate c then true_lit b
+  else begin
+    let g = fresh b in
+    Sat.add_clause b.sat [ Sat.negate g; a; c ];
+    Sat.add_clause b.sat [ Sat.negate g; Sat.negate a; Sat.negate c ];
+    Sat.add_clause b.sat [ g; Sat.negate a; c ];
+    Sat.add_clause b.sat [ g; a; Sat.negate c ];
+    g
+  end
+
+let mux_gate b sel a c =
+  (* sel ? a : c *)
+  if a = c then a
+  else if is_true b sel then a
+  else if is_false b sel then c
+  else begin
+    let g = fresh b in
+    Sat.add_clause b.sat [ Sat.negate sel; Sat.negate a; g ];
+    Sat.add_clause b.sat [ Sat.negate sel; a; Sat.negate g ];
+    Sat.add_clause b.sat [ sel; Sat.negate c; g ];
+    Sat.add_clause b.sat [ sel; c; Sat.negate g ];
+    g
+  end
+
+let full_adder b a c cin =
+  let axc = xor_gate b a c in
+  let sum = xor_gate b axc cin in
+  let cout = or_gate b (and_gate b a c) (and_gate b axc cin) in
+  (sum, cout)
+
+(* -- word-level circuits ------------------------------------------------ *)
+
+let adder b x y cin =
+  let w = Array.length x in
+  let out = Array.make w (false_lit b) in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder b x.(i) y.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out
+
+let negate_vec x = Array.map Sat.negate x
+
+let subtractor b x y = adder b x (negate_vec y) (true_lit b)
+
+let const_vec b v =
+  Array.init (Bv.width v) (fun i ->
+      if Bv.get v i then true_lit b else false_lit b)
+
+let zero_vec b w = Array.make w (false_lit b)
+
+let multiplier b x y =
+  let w = Array.length x in
+  let acc = ref (zero_vec b w) in
+  for i = 0 to w - 1 do
+    (* Partial product of y_i with x shifted left by i, truncated to w. *)
+    let pp =
+      Array.init w (fun j ->
+          if j < i then false_lit b else and_gate b y.(i) x.(j - i))
+    in
+    acc := adder b !acc pp (false_lit b)
+  done;
+  !acc
+
+let ult_vec b x y =
+  (* Ripple comparison from LSB: lt_i = (~x_i & y_i) | ((x_i == y_i) & lt). *)
+  let lt = ref (false_lit b) in
+  for i = 0 to Array.length x - 1 do
+    let xi_lt = and_gate b (Sat.negate x.(i)) y.(i) in
+    let eq_i = Sat.negate (xor_gate b x.(i) y.(i)) in
+    lt := or_gate b xi_lt (and_gate b eq_i !lt)
+  done;
+  !lt
+
+let slt_vec b x y =
+  let w = Array.length x in
+  let x' = Array.copy x and y' = Array.copy y in
+  x'.(w - 1) <- Sat.negate x.(w - 1);
+  y'.(w - 1) <- Sat.negate y.(w - 1);
+  ult_vec b x' y'
+
+let eq_vec b x y =
+  let acc = ref (true_lit b) in
+  for i = 0 to Array.length x - 1 do
+    acc := and_gate b !acc (Sat.negate (xor_gate b x.(i) y.(i)))
+  done;
+  !acc
+
+let num_stage_bits w =
+  let rec go n = if 1 lsl n >= w then n else go (n + 1) in
+  if w <= 1 then 0 else go 1
+
+(* Barrel shifter.  [dir] selects left/right; [fill] is the literal shifted
+   in (false for shl/lshr, the sign for ashr).  Amount bits beyond the
+   stages force the all-fill result. *)
+let shifter b ~left ~fill x amt =
+  let w = Array.length x in
+  let k = num_stage_bits w in
+  let cur = ref (Array.copy x) in
+  for s = 0 to min (k - 1) (Array.length amt - 1) do
+    let dist = 1 lsl s in
+    let prev = !cur in
+    cur :=
+      Array.init w (fun i ->
+          let src = if left then i - dist else i + dist in
+          let shifted = if src < 0 || src >= w then fill else prev.(src) in
+          mux_gate b amt.(s) shifted prev.(i))
+  done;
+  (* Stages cover amounts in [0, 2^k); since 2^k >= w, every amount that
+     fits the stage bits either shifts correctly or (when >= w) already
+     produces the all-fill vector.  Any amount bit >= k set means the
+     amount is >= 2^k >= w: force the all-fill result. *)
+  let overflow = ref (false_lit b) in
+  for i = k to Array.length amt - 1 do
+    overflow := or_gate b !overflow amt.(i)
+  done;
+  Array.map (fun l -> mux_gate b !overflow fill l) !cur
+
+let divider b x y =
+  (* Restoring long division, MSB first: returns (quotient, remainder),
+     with the SMT-LIB convention for division by zero. *)
+  let w = Array.length x in
+  let q = Array.make w (false_lit b) in
+  let r = ref (zero_vec b w) in
+  for i = w - 1 downto 0 do
+    (* r = (r << 1) | x_i *)
+    let r' = Array.init w (fun j -> if j = 0 then x.(i) else !r.(j - 1)) in
+    let ge = Sat.negate (ult_vec b r' y) in
+    q.(i) <- ge;
+    let diff = subtractor b r' y in
+    r := Array.init w (fun j -> mux_gate b ge diff.(j) r'.(j))
+  done;
+  let yzero = eq_vec b y (zero_vec b w) in
+  let qz = Array.map (fun l -> mux_gate b yzero (true_lit b) l) q in
+  let rz = Array.init w (fun j -> mux_gate b yzero x.(j) !r.(j)) in
+  (qz, rz)
+
+(* -- main translation ---------------------------------------------------- *)
+
+let rec blast b (t : Term.t) =
+  match Hashtbl.find_opt b.cache t.Term.id with
+  | Some lits -> lits
+  | None ->
+      let lits =
+        match t.Term.node with
+        | Term.Var (name, w) -> (
+            match Hashtbl.find_opt b.vars (name, w) with
+            | Some lits -> lits
+            | None ->
+                let lits = Array.init w (fun _ -> fresh b) in
+                Hashtbl.add b.vars (name, w) lits;
+                lits)
+        | Term.Const v -> const_vec b v
+        | Term.Not a -> negate_vec (blast b a)
+        | Term.Neg a ->
+            let x = blast b a in
+            adder b (negate_vec x) (zero_vec b (Array.length x)) (true_lit b)
+        | Term.And (a, c) -> Array.map2 (and_gate b) (blast b a) (blast b c)
+        | Term.Or (a, c) -> Array.map2 (or_gate b) (blast b a) (blast b c)
+        | Term.Xor (a, c) -> Array.map2 (xor_gate b) (blast b a) (blast b c)
+        | Term.Add (a, c) -> adder b (blast b a) (blast b c) (false_lit b)
+        | Term.Sub (a, c) -> subtractor b (blast b a) (blast b c)
+        | Term.Mul (a, c) -> multiplier b (blast b a) (blast b c)
+        | Term.Udiv (a, c) -> fst (divider b (blast b a) (blast b c))
+        | Term.Urem (a, c) -> snd (divider b (blast b a) (blast b c))
+        | Term.Shl (a, c) ->
+            shifter b ~left:true ~fill:(false_lit b) (blast b a) (blast b c)
+        | Term.Lshr (a, c) ->
+            shifter b ~left:false ~fill:(false_lit b) (blast b a) (blast b c)
+        | Term.Ashr (a, c) ->
+            let x = blast b a in
+            shifter b ~left:false ~fill:x.(Array.length x - 1) x (blast b c)
+        | Term.Eq (a, c) -> [| eq_vec b (blast b a) (blast b c) |]
+        | Term.Ult (a, c) -> [| ult_vec b (blast b a) (blast b c) |]
+        | Term.Slt (a, c) -> [| slt_vec b (blast b a) (blast b c) |]
+        | Term.Ite (c, a, d) ->
+            let sel = (blast b c).(0) in
+            Array.map2 (fun x y -> mux_gate b sel x y) (blast b a) (blast b d)
+        | Term.Extract (hi, lo, a) ->
+            let x = blast b a in
+            Array.sub x lo (hi - lo + 1)
+        | Term.Zext (w, a) ->
+            let x = blast b a in
+            Array.init w (fun i ->
+                if i < Array.length x then x.(i) else false_lit b)
+        | Term.Sext (w, a) ->
+            let x = blast b a in
+            let n = Array.length x in
+            Array.init w (fun i -> if i < n then x.(i) else x.(n - 1))
+        | Term.Concat (hi, lo) ->
+            let h = blast b hi and l = blast b lo in
+            Array.append l h
+      in
+      assert (Array.length lits = t.Term.width);
+      Hashtbl.add b.cache t.Term.id lits;
+      lits
+
+let blast_bool b t =
+  if Term.width t <> 1 then invalid_arg "Bitblast.blast_bool: width <> 1";
+  (blast b t).(0)
+
+let assert_bool b t = Sat.add_clause b.sat [ blast_bool b t ]
+
+let var_lits b name ~width = Hashtbl.find_opt b.vars (name, width)

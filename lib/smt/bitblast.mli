@@ -1,0 +1,26 @@
+(** Tseitin bit-blasting of QF_BV terms onto the CDCL solver.
+
+    Each term is lowered to a vector of SAT literals (LSB first); the
+    translation is memoized per term id, so shared sub-DAGs are encoded
+    once.  Word-level operators use standard circuits: ripple-carry
+    adders, shift-and-add multipliers, barrel shifters, long-division
+    restoring dividers and borrow-chain comparators. *)
+
+type t
+
+val create : Sqed_sat.Sat.t -> t
+
+val true_lit : t -> Sqed_sat.Sat.lit
+val false_lit : t -> Sqed_sat.Sat.lit
+
+val blast : t -> Term.t -> Sqed_sat.Sat.lit array
+(** Literals of the term, least-significant bit first. *)
+
+val blast_bool : t -> Term.t -> Sqed_sat.Sat.lit
+(** The single literal of a width-1 term. *)
+
+val assert_bool : t -> Term.t -> unit
+(** Assert a width-1 term as a unit clause. *)
+
+val var_lits : t -> string -> width:int -> Sqed_sat.Sat.lit array option
+(** Literals allocated for a variable, if it was blasted. *)

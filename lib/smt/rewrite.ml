@@ -1,0 +1,165 @@
+module Bv = Sqed_bv.Bv
+
+(* One bottom-up pass with memoization; rules are applied after children
+   are simplified, and the smart constructors re-fold anything that became
+   constant. *)
+
+let is_const t = Term.is_const t
+
+let rec simplify_memo cache t =
+  match Hashtbl.find_opt cache t.Term.id with
+  | Some r -> r
+  | None ->
+      let r = rewrite cache t in
+      Hashtbl.replace cache t.Term.id r;
+      r
+
+and rewrite cache t =
+  let s x = simplify_memo cache x in
+  match t.Term.node with
+  | Term.Var _ | Term.Const _ -> t
+  | Term.Not a -> Term.not_ (s a)
+  | Term.Neg a -> Term.neg (s a)
+  | Term.And (a, b) -> assoc_const cache Term.and_ (fun n -> match n with Term.And (x, y) -> Some (x, y) | _ -> None) (s a) (s b)
+  | Term.Or (a, b) -> assoc_const cache Term.or_ (fun n -> match n with Term.Or (x, y) -> Some (x, y) | _ -> None) (s a) (s b)
+  | Term.Xor (a, b) -> assoc_const cache Term.xor (fun n -> match n with Term.Xor (x, y) -> Some (x, y) | _ -> None) (s a) (s b)
+  | Term.Add (a, b) -> assoc_const cache Term.add (fun n -> match n with Term.Add (x, y) -> Some (x, y) | _ -> None) (s a) (s b)
+  | Term.Sub (a, b) -> Term.sub (s a) (s b)
+  | Term.Mul (a, b) -> Term.mul (s a) (s b)
+  | Term.Udiv (a, b) -> Term.udiv (s a) (s b)
+  | Term.Urem (a, b) -> Term.urem (s a) (s b)
+  | Term.Shl (a, b) -> Term.shl (s a) (s b)
+  | Term.Lshr (a, b) -> Term.lshr (s a) (s b)
+  | Term.Ashr (a, b) -> Term.ashr (s a) (s b)
+  | Term.Eq (a, b) -> eq_rule (s a) (s b)
+  | Term.Ult (a, b) -> Term.ult (s a) (s b)
+  | Term.Slt (a, b) -> Term.slt (s a) (s b)
+  | Term.Ite (c, a, b) -> ite_rule (s c) (s a) (s b)
+  | Term.Extract (hi, lo, a) -> extract_rule hi lo (s a)
+  | Term.Zext (w, a) -> Term.zext (s a) w
+  | Term.Sext (w, a) -> Term.sext (s a) w
+  | Term.Concat (a, b) -> Term.concat (s a) (s b)
+
+(* (x @ c1) @ c2 --> x @ (c1 @ c2) for an AC operator [op]. *)
+and assoc_const _cache op destruct a b =
+  let split t =
+    match (destruct t.Term.node, is_const t) with
+    | _, Some _ -> (None, Some t)
+    | Some (x, y), _ -> (
+        match (is_const x, is_const y) with
+        | Some _, None -> (Some y, Some x)
+        | None, Some _ -> (Some x, Some y)
+        | _ -> (Some t, None))
+    | None, None -> (Some t, None)
+  in
+  let xa, ca = split a and xb, cb = split b in
+  match (xa, ca, xb, cb) with
+  | Some x, Some c1, Some y, Some c2 -> op (op x y) (op c1 c2)
+  | Some x, Some c1, None, Some c2 | None, Some c2, Some x, Some c1 ->
+      op x (op c1 c2)
+  | _ -> op a b
+
+and eq_rule a b =
+  let rule x c =
+    (* eq (xor p q) 0 --> eq p q;  eq (sub p q) 0 --> eq p q *)
+    if Term.is_const c = Some (Bv.zero (Term.width c)) then
+      match x.Term.node with
+      | Term.Xor (p, q) | Term.Sub (p, q) -> Some (Term.eq p q)
+      | Term.Not p ->
+          (* eq (not p) 0 --> eq p ones *)
+          Some (Term.eq p (Term.const (Bv.ones (Term.width p))))
+      | _ -> None
+    else None
+  in
+  match (rule a b, rule b a) with
+  | Some r, _ | _, Some r -> r
+  | None, None -> (
+      (* eq (ite c k1 k2) k --> c / not c when all constants differ/match *)
+      match (a.Term.node, is_const b) with
+      | Term.Ite (c, x, y), Some kb -> (
+          match (is_const x, is_const y) with
+          | Some kx, Some ky ->
+              if Bv.equal kx kb && not (Bv.equal ky kb) then c
+              else if Bv.equal ky kb && not (Bv.equal kx kb) then Term.not_ c
+              else if Bv.equal kx kb && Bv.equal ky kb then Term.tt
+              else Term.ff
+          | _ -> Term.eq a b)
+      | _ -> Term.eq a b)
+
+and ite_rule c a b =
+  if Term.width a = 1 then
+    match (is_const a, is_const b) with
+    | Some x, Some y when Bv.to_int x = 1 && Bv.to_int y = 0 -> c
+    | Some x, Some y when Bv.to_int x = 0 && Bv.to_int y = 1 -> Term.not_ c
+    | _ -> ite_notc c a b
+  else ite_notc c a b
+
+and ite_notc c a b =
+  match c.Term.node with
+  | Term.Not c' -> Term.ite c' b a
+  | _ -> Term.ite c a b
+
+and extract_rule hi lo a =
+  match a.Term.node with
+  | Term.Concat (h, l) ->
+      let wl = Term.width l in
+      if hi < wl then extract_rule hi lo l
+      else if lo >= wl then extract_rule (hi - wl) (lo - wl) h
+      else Term.extract ~hi ~lo a
+  | Term.Zext (_, x) ->
+      let wx = Term.width x in
+      if hi < wx then extract_rule hi lo x
+      else if lo >= wx then Term.of_int ~width:(hi - lo + 1) 0
+      else Term.extract ~hi ~lo a
+  | Term.Sext (_, x) ->
+      let wx = Term.width x in
+      if hi < wx then extract_rule hi lo x else Term.extract ~hi ~lo a
+  | _ -> Term.extract ~hi ~lo a
+
+let simplify t =
+  let cache = Hashtbl.create 256 in
+  simplify_memo cache t
+
+let gate_estimate t =
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  let rec go t =
+    if not (Hashtbl.mem seen t.Term.id) then begin
+      Hashtbl.add seen t.Term.id ();
+      let w = Term.width t in
+      let cost =
+        match t.Term.node with
+        | Term.Var _ | Term.Const _ -> 0
+        | Term.Not _ | Term.Extract _ | Term.Zext _ | Term.Sext _
+        | Term.Concat _ ->
+            0
+        | Term.And _ | Term.Or _ | Term.Xor _ | Term.Ite _ -> w
+        | Term.Add _ | Term.Sub _ | Term.Neg _ -> 3 * w
+        | Term.Eq _ | Term.Ult _ | Term.Slt _ -> 2 * w
+        | Term.Shl _ | Term.Lshr _ | Term.Ashr _ ->
+            let rec log2up n k = if 1 lsl k >= n then k else log2up n (k + 1) in
+            w * log2up (max 2 w) 1
+        | Term.Mul _ -> 6 * w * w
+        | Term.Udiv _ | Term.Urem _ -> 8 * w * w
+      in
+      total := !total + cost;
+      match t.Term.node with
+      | Term.Var _ | Term.Const _ -> ()
+      | Term.Not a | Term.Neg a | Term.Extract (_, _, a) | Term.Zext (_, a)
+      | Term.Sext (_, a) ->
+          go a
+      | Term.And (a, b) | Term.Or (a, b) | Term.Xor (a, b) | Term.Add (a, b)
+      | Term.Sub (a, b) | Term.Mul (a, b) | Term.Udiv (a, b)
+      | Term.Urem (a, b) | Term.Shl (a, b) | Term.Lshr (a, b)
+      | Term.Ashr (a, b) | Term.Eq (a, b) | Term.Ult (a, b) | Term.Slt (a, b)
+      | Term.Concat (a, b) ->
+          go a;
+          go b
+      | Term.Ite (c, a, b) ->
+          go c;
+          go a;
+          go b
+    end
+  in
+  go t;
+  !total

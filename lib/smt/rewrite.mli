@@ -1,0 +1,23 @@
+(** Term simplification beyond the smart constructors' local folding.
+
+    [simplify] rewrites bottom-up (memoized over the DAG) with
+    equivalence-preserving rules that the one-level constructors cannot
+    see:
+
+    - constant re-association: [(x @ c1) @ c2 --> x @ (c1 @ c2)] for
+      associative-commutative [add]/[and]/[or]/[xor];
+    - boolean ite collapse: [ite c 1 0 --> c], [ite c 0 1 --> not c],
+      [ite c a a --> a];
+    - equality rules: [eq (xor a b) 0 --> eq a b],
+      [eq (sub a b) 0 --> eq a b], [not (not x) --> x];
+    - extract-through-concat and extract-through-extend narrowing.
+
+    The result always evaluates identically to the input (tested by a
+    random-assignment differential property). *)
+
+val simplify : Term.t -> Term.t
+
+val gate_estimate : Term.t -> int
+(** Rough cost metric: number of DAG nodes weighted by operator kind
+    (multiplications and divisions dominate).  Used to report what a
+    rewrite bought. *)

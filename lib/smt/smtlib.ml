@@ -1,0 +1,93 @@
+module Bv = Sqed_bv.Bv
+
+(* Terms print close to SMT-LIB already; constants need the #b form. *)
+let rec emit buf (t : Term.t) =
+  let bin name a b =
+    Buffer.add_string buf ("(" ^ name ^ " ");
+    emit buf a;
+    Buffer.add_char buf ' ';
+    emit buf b;
+    Buffer.add_char buf ')'
+  in
+  match t.Term.node with
+  | Term.Var (s, _) -> Buffer.add_string buf s
+  | Term.Const v -> Buffer.add_string buf ("#b" ^ Bv.to_binary_string v)
+  | Term.Not a ->
+      Buffer.add_string buf "(bvnot ";
+      emit buf a;
+      Buffer.add_char buf ')'
+  | Term.Neg a ->
+      Buffer.add_string buf "(bvneg ";
+      emit buf a;
+      Buffer.add_char buf ')'
+  | Term.And (a, b) -> bin "bvand" a b
+  | Term.Or (a, b) -> bin "bvor" a b
+  | Term.Xor (a, b) -> bin "bvxor" a b
+  | Term.Add (a, b) -> bin "bvadd" a b
+  | Term.Sub (a, b) -> bin "bvsub" a b
+  | Term.Mul (a, b) -> bin "bvmul" a b
+  | Term.Udiv (a, b) -> bin "bvudiv" a b
+  | Term.Urem (a, b) -> bin "bvurem" a b
+  | Term.Shl (a, b) -> bin "bvshl" a b
+  | Term.Lshr (a, b) -> bin "bvlshr" a b
+  | Term.Ashr (a, b) -> bin "bvashr" a b
+  | Term.Eq (a, b) ->
+      (* Booleans are width-1 vectors here; (= _ _) is an SMT Bool, so wrap
+         it back into a vector to stay well-sorted. *)
+      Buffer.add_string buf "(ite ";
+      bin "=" a b;
+      Buffer.add_string buf " #b1 #b0)"
+  | Term.Ult (a, b) ->
+      Buffer.add_string buf "(ite ";
+      bin "bvult" a b;
+      Buffer.add_string buf " #b1 #b0)"
+  | Term.Slt (a, b) ->
+      Buffer.add_string buf "(ite ";
+      bin "bvslt" a b;
+      Buffer.add_string buf " #b1 #b0)"
+  | Term.Ite (c, a, b) ->
+      Buffer.add_string buf "(ite (= ";
+      emit buf c;
+      Buffer.add_string buf " #b1) ";
+      emit buf a;
+      Buffer.add_char buf ' ';
+      emit buf b;
+      Buffer.add_char buf ')'
+  | Term.Extract (hi, lo, a) ->
+      Buffer.add_string buf (Printf.sprintf "((_ extract %d %d) " hi lo);
+      emit buf a;
+      Buffer.add_char buf ')'
+  | Term.Zext (w, a) ->
+      Buffer.add_string buf
+        (Printf.sprintf "((_ zero_extend %d) " (w - Term.width a));
+      emit buf a;
+      Buffer.add_char buf ')'
+  | Term.Sext (w, a) ->
+      Buffer.add_string buf
+        (Printf.sprintf "((_ sign_extend %d) " (w - Term.width a));
+      emit buf a;
+      Buffer.add_char buf ')'
+  | Term.Concat (a, b) -> bin "concat" a b
+
+let term_to_string t =
+  let buf = Buffer.create 256 in
+  emit buf t;
+  Buffer.contents buf
+
+let declarations ts =
+  let vars = List.concat_map Term.vars ts |> List.sort_uniq Stdlib.compare in
+  String.concat "\n"
+    (List.map
+       (fun (name, w) ->
+         Printf.sprintf "(declare-const %s (_ BitVec %d))" name w)
+       vars)
+
+let assert_term t =
+  if Term.width t <> 1 then invalid_arg "Smtlib.assert_term: width <> 1";
+  Printf.sprintf "(assert (= %s #b1))" (term_to_string t)
+
+let script ts =
+  String.concat "\n"
+    ([ "(set-logic QF_BV)"; declarations ts ]
+    @ List.map assert_term ts
+    @ [ "(check-sat)" ])

@@ -1,0 +1,265 @@
+module Bv = Sqed_bv.Bv
+
+(* ------------------------------------------------------------------ *)
+(* S-expression reader                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of string
+
+let tokenize text =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | ';' ->
+        flush ();
+        while !i < n && text.[!i] <> '\n' do
+          incr i
+        done
+    | '(' ->
+        flush ();
+        tokens := "(" :: !tokens
+    | ')' ->
+        flush ();
+        tokens := ")" :: !tokens
+    | ' ' | '\t' | '\n' | '\r' -> flush ()
+    | '|' ->
+        (* quoted symbol *)
+        flush ();
+        incr i;
+        while !i < n && text.[!i] <> '|' do
+          Buffer.add_char buf text.[!i];
+          incr i
+        done;
+        flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !tokens
+
+let read_sexps tokens =
+  let rec read = function
+    | [] -> raise (Parse_error "unexpected end of input")
+    | "(" :: rest ->
+        let items, rest = read_list [] rest in
+        (List items, rest)
+    | ")" :: _ -> raise (Parse_error "unexpected )")
+    | atom :: rest -> (Atom atom, rest)
+  and read_list acc = function
+    | ")" :: rest -> (List.rev acc, rest)
+    | [] -> raise (Parse_error "missing )")
+    | tokens ->
+        let item, rest = read tokens in
+        read_list (item :: acc) rest
+  in
+  let rec top acc = function
+    | [] -> List.rev acc
+    | tokens ->
+        let item, rest = read tokens in
+        top (item :: acc) rest
+  in
+  top [] tokens
+
+let rec sexp_to_string = function
+  | Atom a -> a
+  | List items ->
+      "(" ^ String.concat " " (List.map sexp_to_string items) ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Term construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type env = { consts : (string, int) Hashtbl.t; lets : (string * Term.t) list }
+
+let fail sexp msg =
+  raise (Parse_error (msg ^ ": " ^ sexp_to_string sexp))
+
+let parse_literal atom =
+  let n = String.length atom in
+  if n > 2 && atom.[0] = '#' && atom.[1] = 'b' then
+    Some (Term.const (Bv.of_binary_string (String.sub atom 2 (n - 2))))
+  else if n > 2 && atom.[0] = '#' && atom.[1] = 'x' then
+    Some
+      (Term.const
+         (Bv.of_hex_string ~width:(4 * (n - 2)) (String.sub atom 2 (n - 2))))
+  else None
+
+let as_bool t =
+  (* Our booleans are width-1 vectors already. *)
+  if Term.width t = 1 then t
+  else raise (Parse_error "expected a boolean (width-1) term")
+
+let rec term env sexp =
+  match sexp with
+  | Atom "true" -> Term.tt
+  | Atom "false" -> Term.ff
+  | Atom a -> (
+      match parse_literal a with
+      | Some t -> t
+      | None -> (
+          match List.assoc_opt a env.lets with
+          | Some t -> t
+          | None -> (
+              match Hashtbl.find_opt env.consts a with
+              | Some w -> Term.var a w
+              | None -> fail sexp "unknown symbol")))
+  | List [ Atom "_"; Atom bv; Atom w ]
+    when String.length bv > 2 && String.sub bv 0 2 = "bv" ->
+      let v = int_of_string (String.sub bv 2 (String.length bv - 2)) in
+      Term.of_int ~width:(int_of_string w) v
+  | List (Atom "let" :: List bindings :: body) ->
+      let lets =
+        List.fold_left
+          (fun acc b ->
+            match b with
+            | List [ Atom name; value ] -> (name, term { env with lets = acc } value) :: acc
+            | _ -> fail b "malformed let binding")
+          env.lets bindings
+      in
+      (match body with
+      | [ body ] -> term { env with lets } body
+      | _ -> fail sexp "let body")
+  | List [ List [ Atom "_"; Atom "extract"; Atom hi; Atom lo ]; x ] ->
+      Term.extract ~hi:(int_of_string hi) ~lo:(int_of_string lo) (term env x)
+  | List [ List [ Atom "_"; Atom "zero_extend"; Atom k ]; x ] ->
+      let t = term env x in
+      Term.zext t (Term.width t + int_of_string k)
+  | List [ List [ Atom "_"; Atom "sign_extend"; Atom k ]; x ] ->
+      let t = term env x in
+      Term.sext t (Term.width t + int_of_string k)
+  | List (Atom op :: args) -> apply env sexp op (List.map (term env) args)
+  | _ -> fail sexp "cannot parse term"
+
+and apply env sexp op args =
+  let chain f = function
+    | x :: rest -> List.fold_left f x rest
+    | [] -> fail sexp "empty application"
+  in
+  let bin f = match args with [ a; b ] -> f a b | _ -> fail sexp "arity 2" in
+  let un f = match args with [ a ] -> f a | _ -> fail sexp "arity 1" in
+  ignore env;
+  match op with
+  | "=" -> (
+      match args with
+      | [ a; b ] -> Term.eq a b
+      | a :: rest ->
+          Term.conj (List.map (fun b -> Term.eq a b) rest)
+      | [] -> fail sexp "arity")
+  | "distinct" -> bin Term.distinct
+  | "ite" -> (
+      match args with
+      | [ c; a; b ] -> Term.ite (as_bool c) a b
+      | _ -> fail sexp "arity 3")
+  | "not" -> un (fun a -> Term.not_ (as_bool a))
+  | "and" -> chain (fun a b -> Term.and_ (as_bool a) (as_bool b)) args
+  | "or" -> chain (fun a b -> Term.or_ (as_bool a) (as_bool b)) args
+  | "xor" -> chain (fun a b -> Term.xor (as_bool a) (as_bool b)) args
+  | "=>" -> (
+      match List.rev args with
+      | last :: rev_rest ->
+          List.fold_left
+            (fun acc a -> Term.implies (as_bool a) acc)
+            (as_bool last) rev_rest
+      | [] -> fail sexp "arity")
+  | "bvadd" -> chain Term.add args
+  | "bvsub" -> bin Term.sub
+  | "bvmul" -> chain Term.mul args
+  | "bvudiv" -> bin Term.udiv
+  | "bvurem" -> bin Term.urem
+  | "bvand" -> chain Term.and_ args
+  | "bvor" -> chain Term.or_ args
+  | "bvxor" -> chain Term.xor args
+  | "bvnot" -> un Term.not_
+  | "bvneg" -> un Term.neg
+  | "bvshl" -> bin Term.shl
+  | "bvlshr" -> bin Term.lshr
+  | "bvashr" -> bin Term.ashr
+  | "bvult" -> bin Term.ult
+  | "bvule" -> bin Term.ule
+  | "bvugt" -> bin Term.ugt
+  | "bvuge" -> bin Term.uge
+  | "bvslt" -> bin Term.slt
+  | "bvsle" -> bin Term.sle
+  | "concat" -> chain Term.concat args
+  | _ -> fail sexp ("unsupported operator " ^ op)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type script = {
+  assertions : Term.t list;
+  declarations : (string * int) list;
+  check_sat : bool;
+}
+
+let sort_width sexp =
+  match sexp with
+  | List [ Atom "_"; Atom "BitVec"; Atom w ] -> int_of_string w
+  | Atom "Bool" -> 1
+  | _ -> fail sexp "unsupported sort"
+
+let parse text =
+  try
+    let sexps = read_sexps (tokenize text) in
+    let consts = Hashtbl.create 16 in
+    let decls = ref [] in
+    let assertions = ref [] in
+    let check_sat = ref false in
+    List.iter
+      (fun sexp ->
+        match sexp with
+        | List (Atom ("set-logic" | "set-info" | "set-option") :: _) -> ()
+        | List [ Atom "declare-const"; Atom name; sort ] ->
+            let w = sort_width sort in
+            Hashtbl.replace consts name w;
+            decls := (name, w) :: !decls
+        | List [ Atom "declare-fun"; Atom name; List []; sort ] ->
+            let w = sort_width sort in
+            Hashtbl.replace consts name w;
+            decls := (name, w) :: !decls
+        | List [ Atom "assert"; body ] ->
+            let t = term { consts; lets = [] } body in
+            assertions := as_bool t :: !assertions
+        | List [ Atom "check-sat" ] -> check_sat := true
+        | List [ Atom "exit" ] -> ()
+        | _ -> fail sexp "unsupported command")
+      sexps;
+    Ok
+      {
+        assertions = List.rev !assertions;
+        declarations = List.rev !decls;
+        check_sat = !check_sat;
+      }
+  with
+  | Parse_error e -> Error e
+  | Invalid_argument e -> Error e
+  | Failure e -> Error e
+
+let solve_script ?max_conflicts text =
+  match parse text with
+  | Error e -> Error e
+  | Ok script ->
+      let solver = Solver.create () in
+      List.iter (Solver.assert_ solver) script.assertions;
+      let result = Solver.check ?max_conflicts solver in
+      let model =
+        match result with
+        | Solver.Sat ->
+            List.map
+              (fun (name, w) -> (name, Solver.model_var solver (Term.var name w)))
+              script.declarations
+        | Solver.Unsat | Solver.Unknown -> []
+      in
+      Ok (result, model)

@@ -1,0 +1,30 @@
+(** A parser for the QF_BV fragment of SMT-LIB 2, covering what this
+    library's own emitter produces plus the constructs common in
+    hand-written and tool-generated bit-vector scripts:
+
+    - [set-logic] / [set-info] / [set-option] (accepted, ignored)
+    - [declare-const] and zero-arity [declare-fun] with [(_ BitVec n)] and
+      [Bool] sorts (Bool becomes a width-1 vector)
+    - [assert] over: binary/hex/decimal literals ([#b...], [#x...],
+      [(_ bvN w)]), the core operators ([=], [distinct], [ite], [not],
+      [and], [or], [xor], [=>]), the QF_BV operators ([bvadd bvsub bvmul
+      bvudiv bvurem bvand bvor bvxor bvnot bvneg bvshl bvlshr bvashr
+      bvult bvule bvugt bvuge bvslt bvsle concat]), indexed
+      [extract]/[zero_extend]/[sign_extend], and [let] bindings
+    - [check-sat] / [exit] (markers)
+
+    The result is the list of asserted width-1 terms, ready for
+    {!Solver.assert_}. *)
+
+type script = {
+  assertions : Term.t list;
+  declarations : (string * int) list;  (** name, width *)
+  check_sat : bool;  (** a [check-sat] command was present *)
+}
+
+val parse : string -> (script, string) result
+(** Errors carry a human-readable message with the offending s-expression. *)
+
+val solve_script : ?max_conflicts:int -> string -> (Solver.result * (string * Sqed_bv.Bv.t) list, string) result
+(** Parse and solve; on [Sat], returns the model of the declared
+    constants. *)

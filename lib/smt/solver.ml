@@ -1,0 +1,76 @@
+module Bv = Sqed_bv.Bv
+module Sat = Sqed_sat.Sat
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  sat : Sat.t;
+  blaster : Bitblast.t;
+  mutable has_model : bool;
+}
+
+let create () =
+  let sat = Sat.create () in
+  { sat; blaster = Bitblast.create sat; has_model = false }
+
+let assert_ s t =
+  if Term.width t <> 1 then invalid_arg "Solver.assert_: width <> 1";
+  s.has_model <- false;
+  Bitblast.assert_bool s.blaster t
+
+let check ?(assumptions = []) ?max_conflicts ?deadline s =
+  s.has_model <- false;
+  let assumption_lits =
+    List.map (fun t -> Bitblast.blast_bool s.blaster t) assumptions
+  in
+  match
+    Sat.solve ~assumptions:assumption_lits ?max_conflicts ?deadline s.sat
+  with
+  | Sat.Sat ->
+      s.has_model <- true;
+      Sat
+  | Sat.Unsat -> Unsat
+  | Sat.Unknown -> Unknown
+
+let model_var s t =
+  if not s.has_model then failwith "Solver.model_var: no model";
+  match t.Term.node with
+  | Term.Var (name, w) -> (
+      match Bitblast.var_lits s.blaster name ~width:w with
+      | None -> Bv.zero w
+      | Some lits ->
+          Bv.of_bits (Array.map (fun l -> Sat.lit_value s.sat l) lits))
+  | _ -> invalid_arg "Solver.model_var: not a variable"
+
+let model_value s t =
+  if not s.has_model then failwith "Solver.model_value: no model";
+  (* Unblasted variables are unconstrained; their widths come from the
+     term's own variable list. *)
+  let widths = Term.vars t in
+  let lookup name =
+    let w = try List.assoc name widths with Not_found -> 1 in
+    match Bitblast.var_lits s.blaster name ~width:w with
+    | Some lits -> Bv.of_bits (Array.map (fun l -> Sat.lit_value s.sat l) lits)
+    | None -> Bv.zero w
+  in
+  Term.eval lookup t
+
+let to_dimacs s = Sat.to_dimacs s.sat
+
+let num_clauses s = Sat.num_clauses s.sat
+let num_vars s = Sat.num_vars s.sat
+let stats s = Sat.stats s.sat
+
+let check_valid ?max_conflicts t =
+  let s = create () in
+  assert_ s (Term.not_ t);
+  match check ?max_conflicts s with
+  | Unsat -> (Unsat, [])
+  | Sat ->
+      let model =
+        List.map
+          (fun (name, w) -> (name, model_var s (Term.var name w)))
+          (Term.vars t)
+      in
+      (Sat, model)
+  | Unknown -> (Unknown, [])

@@ -1,0 +1,42 @@
+(** QF_BV satisfiability on top of {!Bitblast} and {!Sqed_sat.Sat}.
+
+    A solver instance accumulates assertions (incremental: more assertions
+    may be added after a [check]).  Checking under assumptions does not
+    retract anything. *)
+
+module Bv = Sqed_bv.Bv
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val assert_ : t -> Term.t -> unit
+(** Assert a width-1 term. *)
+
+val check :
+  ?assumptions:Term.t list -> ?max_conflicts:int -> ?deadline:float -> t -> result
+(** [deadline] is an absolute wall-clock instant enforced inside the
+    search loop. *)
+
+val model_var : t -> Term.t -> Bv.t
+(** Value of a variable term in the last model.  Variables the solver never
+    saw evaluate to zero.  Raises [Failure] without a model. *)
+
+val model_value : t -> Term.t -> Bv.t
+(** Evaluate an arbitrary term under the last model's variable values. *)
+
+val num_clauses : t -> int
+val num_vars : t -> int
+
+val to_dimacs : t -> string
+(** The bit-blasted clause database in DIMACS format (assertions only),
+    for archiving hard instances and external cross-checks. *)
+
+val stats : t -> Sqed_sat.Sat.stats
+
+val check_valid : ?max_conflicts:int -> Term.t -> result * (string * Bv.t) list
+(** One-shot validity check of a width-1 term: returns [Unsat] if the term
+    is valid (its negation has no model), or [Sat] with a countermodel
+    (variable assignments) otherwise. *)

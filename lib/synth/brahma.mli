@@ -1,0 +1,20 @@
+(** Classical component-based CEGIS (Gulwani et al.): one synthesis query
+    with first-order location variables over the {e entire} library, every
+    component appearing once as a line of the candidate program.
+
+    With a realistic library this does not terminate in a practical budget
+    (Section 6.1: "Classical CEGIS failed to synthesize a single original
+    instruction even after several weeks"); it is implemented faithfully as
+    the failing baseline and is exercised under an explicit budget. *)
+
+type outcome =
+  | Synthesized of Program.t
+  | Budget_exhausted
+  | No_program
+
+val synthesize :
+  options:Engine.options ->
+  spec:Component.spec ->
+  library:Component.t list ->
+  outcome * Cegis.stats * float
+(** Returns the outcome, query statistics, and elapsed seconds. *)

@@ -1,0 +1,188 @@
+module Bv = Sqed_bv.Bv
+module Term = Sqed_smt.Term
+module Solver = Sqed_smt.Solver
+
+type stats = {
+  mutable solver_calls : int;
+  mutable verify_calls : int;
+  mutable multisets_tried : int;
+  mutable skeletons_tried : int;
+  mutable cegis_iterations : int;
+}
+
+let mk_stats () =
+  {
+    solver_calls = 0;
+    verify_calls = 0;
+    multisets_tried = 0;
+    skeletons_tried = 0;
+    cegis_iterations = 0;
+  }
+
+type config = {
+  xlen : int;
+  max_cegis_iters : int;
+  max_conflicts : int option;
+  max_programs_per_multiset : int;
+}
+
+let default_config =
+  {
+    xlen = 8;
+    max_cegis_iters = 12;
+    max_conflicts = Some 200_000;
+    max_programs_per_multiset = 4;
+  }
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s!%d" prefix !n
+
+let input_width cfg kind = Component.spec_input_width ~xlen:cfg.xlen kind
+
+(* Fixed plus random example inputs seeding the CEGIS loop. *)
+let initial_examples cfg spec =
+  let rng = Random.State.make [| 0x5e9e |] in
+  let corner w =
+    [ Bv.zero w; Bv.one w; Bv.ones w; Bv.min_signed w ]
+  in
+  let widths = List.map (input_width cfg) spec.Component.g_inputs in
+  let fixed =
+    List.init 4 (fun i -> List.map (fun w -> List.nth (corner w) i) widths)
+  in
+  let random = List.init 4 (fun _ -> List.map (Bv.random rng) widths) in
+  fixed @ random
+
+let verify_equivalence cfg ~spec program stats =
+  stats.verify_calls <- stats.verify_calls + 1;
+  stats.solver_calls <- stats.solver_calls + 1;
+  let inputs =
+    List.map
+      (fun kind -> Term.var (fresh "vin") (input_width cfg kind))
+      spec.Component.g_inputs
+  in
+  let lhs = Program.sem ~xlen:cfg.xlen program inputs in
+  let rhs = spec.Component.g_sem ~xlen:cfg.xlen inputs in
+  let r, _ =
+    Solver.check_valid ?max_conflicts:cfg.max_conflicts (Term.eq lhs rhs)
+  in
+  r = Solver.Unsat
+
+(* Verification query that also returns the countermodel inputs. *)
+let find_counterexample cfg ~spec program stats =
+  stats.solver_calls <- stats.solver_calls + 1;
+  let s = Solver.create () in
+  let input_vars =
+    List.map
+      (fun kind -> Term.var (fresh "cin") (input_width cfg kind))
+      spec.Component.g_inputs
+  in
+  let lhs = Program.sem ~xlen:cfg.xlen program input_vars in
+  let rhs = spec.Component.g_sem ~xlen:cfg.xlen input_vars in
+  Solver.assert_ s (Term.distinct lhs rhs);
+  match Solver.check ?max_conflicts:cfg.max_conflicts s with
+  | Solver.Unsat -> `Equivalent
+  | Solver.Sat -> `Counterexample (List.map (Solver.model_var s) input_vars)
+  | Solver.Unknown -> `GaveUp
+
+(* CEGIS over the attribute values of one skeleton. *)
+(* Cheap concrete screening: a fully concrete program that disagrees with
+   the specification on any seed example cannot be equivalent, and most
+   candidates die here without touching the solver. *)
+let concretely_plausible cfg ~spec program =
+  List.for_all
+    (fun ex ->
+      let out = Program.eval ~xlen:cfg.xlen program ex in
+      let expected =
+        Term.eval
+          (fun _ -> assert false)
+          (spec.Component.g_sem ~xlen:cfg.xlen (List.map Term.const ex))
+      in
+      Bv.equal out expected)
+    (initial_examples cfg spec)
+
+let solve_skeleton cfg ~spec skeleton stats =
+  stats.skeletons_tried <- stats.skeletons_tried + 1;
+  let widths = Topology.attr_widths skeleton in
+  if widths = [] then begin
+    let program = Topology.to_program skeleton [] in
+    if not (concretely_plausible cfg ~spec program) then None
+    else
+      match find_counterexample cfg ~spec program stats with
+      | `Equivalent -> Some program
+      | `Counterexample _ | `GaveUp -> None
+  end
+  else begin
+    let attr_vars = List.map (fun w -> Term.var (fresh "attr") w) widths in
+    let solver = Solver.create () in
+    let add_example ex =
+      (* Assert P_A(ex) == spec(ex) with the attributes still symbolic:
+         build the program semantics over variable attributes by temporary
+         substitution through Topology.to_program on constant inputs. *)
+      let input_terms = List.map Term.const ex in
+      let lhs =
+        (* Program.sem needs concrete attribute values; instead rebuild the
+           line terms manually with attr variables. *)
+        let inputs = Array.of_list input_terms in
+        let outs = Array.make (List.length skeleton.Topology.sk_lines) Term.tt in
+        let attr_queue = ref attr_vars in
+        List.iteri
+          (fun i (c, args) ->
+            let take_attrs =
+              List.map
+                (fun _ ->
+                  match !attr_queue with
+                  | [] -> assert false
+                  | a :: rest ->
+                      attr_queue := rest;
+                      a)
+                c.Component.attrs
+            in
+            let resolve = function
+              | Program.Input k -> inputs.(k)
+              | Program.Line j -> outs.(j)
+            in
+            outs.(i) <-
+              c.Component.sem ~xlen:cfg.xlen (List.map resolve args) take_attrs)
+          skeleton.Topology.sk_lines;
+        outs.(Array.length outs - 1)
+      in
+      let rhs = spec.Component.g_sem ~xlen:cfg.xlen input_terms in
+      Solver.assert_ solver (Term.eq lhs rhs)
+    in
+    List.iter add_example (initial_examples cfg spec);
+    let rec loop iters =
+      if iters > cfg.max_cegis_iters then None
+      else begin
+        stats.cegis_iterations <- stats.cegis_iterations + 1;
+        stats.solver_calls <- stats.solver_calls + 1;
+        match Solver.check ?max_conflicts:cfg.max_conflicts solver with
+        | Solver.Unsat | Solver.Unknown -> None
+        | Solver.Sat -> (
+            let attr_values = List.map (Solver.model_var solver) attr_vars in
+            let program = Topology.to_program skeleton attr_values in
+            match find_counterexample cfg ~spec program stats with
+            | `Equivalent -> Some program
+            | `GaveUp -> None
+            | `Counterexample ex ->
+                add_example ex;
+                loop (iters + 1))
+      end
+    in
+    loop 1
+  end
+
+let synthesize_multiset cfg ~spec ~multiset stats =
+  stats.multisets_tried <- stats.multisets_tried + 1;
+  let skeletons = Topology.enumerate ~spec multiset in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | _ when List.length acc >= cfg.max_programs_per_multiset -> List.rev acc
+    | sk :: rest -> (
+        match solve_skeleton cfg ~spec sk stats with
+        | Some p -> go (p :: acc) rest
+        | None -> go acc rest)
+  in
+  go [] skeletons

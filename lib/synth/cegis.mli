@@ -1,0 +1,47 @@
+(** Counterexample-guided inductive synthesis over one multiset.
+
+    For every well-formed skeleton of the multiset: if the skeleton has no
+    free attributes, a single equivalence query decides it; otherwise the
+    classic CEGIS loop alternates finite synthesis (choose attribute values
+    consistent with the current example set) and verification (find an
+    input on which candidate and specification differ, which becomes a new
+    example). *)
+
+module Bv = Sqed_bv.Bv
+
+type stats = {
+  mutable solver_calls : int;
+  mutable verify_calls : int;
+  mutable multisets_tried : int;
+  mutable skeletons_tried : int;
+  mutable cegis_iterations : int;
+}
+
+val mk_stats : unit -> stats
+
+type config = {
+  xlen : int;  (** synthesis width *)
+  max_cegis_iters : int;  (** examples added before giving up *)
+  max_conflicts : int option;  (** per-query SAT effort budget *)
+  max_programs_per_multiset : int;
+}
+
+val default_config : config
+
+val initial_examples : config -> Component.spec -> Bv.t list list
+(** Corner-case and pseudo-random inputs seeding the example set (also used
+    by the classical baseline). *)
+
+val verify_equivalence :
+  config -> spec:Component.spec -> Program.t -> stats -> bool
+(** One-shot check that a fully concrete program matches the specification
+    for all inputs. *)
+
+val synthesize_multiset :
+  config ->
+  spec:Component.spec ->
+  multiset:Component.t list ->
+  stats ->
+  Program.t list
+(** All (up to the configured cap) verified programs obtainable from the
+    multiset. *)

@@ -1,0 +1,62 @@
+module Bv = Sqed_bv.Bv
+module Term = Sqed_smt.Term
+module Insn = Sqed_isa.Insn
+
+type cls = NIC | DIC | CIC
+
+type input_kind = Reg | Imm12
+
+type t = {
+  label : string;
+  name : string;
+  cls : cls;
+  inputs : input_kind list;
+  attrs : int list;
+  sem : xlen:int -> Term.t list -> Term.t list -> Term.t;
+  n_temps : int;
+  instantiate :
+    xlen:int ->
+    dst:int ->
+    srcs:[ `Reg of int | `Imm of int ] list ->
+    attrs:Bv.t list ->
+    temps:int list ->
+    Insn.t list;
+}
+
+let arity c = List.length (List.filter (fun k -> k = Reg) c.inputs)
+let imm_arity c = List.length (List.filter (fun k -> k = Imm12) c.inputs)
+
+let cls_name = function NIC -> "NIC" | DIC -> "DIC" | CIC -> "CIC"
+
+let pp fmt c =
+  Format.fprintf fmt "%s(%s/%s)" c.label c.name (cls_name c.cls)
+
+type spec = {
+  g_name : string;
+  g_inputs : input_kind list;
+  g_sem : xlen:int -> Term.t list -> Term.t;
+}
+
+let spec_input_width ~xlen = function Reg -> xlen | Imm12 -> 12
+
+let spec_of_rop op =
+  {
+    g_name = Insn.rop_name op;
+    g_inputs = [ Reg; Reg ];
+    g_sem =
+      (fun ~xlen args ->
+        match args with
+        | [ a; b ] -> Sqed_isa.Semantics.r_result ~xlen op a b
+        | _ -> invalid_arg "spec_of_rop: arity");
+  }
+
+let spec_of_iop op =
+  {
+    g_name = Insn.iop_name op;
+    g_inputs = [ Reg; Imm12 ];
+    g_sem =
+      (fun ~xlen args ->
+        match args with
+        | [ a; imm ] -> Sqed_isa.Semantics.i_result ~xlen op a ~imm
+        | _ -> invalid_arg "spec_of_iop: arity");
+  }

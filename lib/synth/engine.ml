@@ -1,0 +1,35 @@
+type options = {
+  config : Cegis.config;
+  n_max : int;
+  k : int;
+  min_components : int;
+  seed : int;
+  time_budget : float option;
+}
+
+let default_options =
+  {
+    config = Cegis.default_config;
+    n_max = 3;
+    k = 5;
+    min_components = 3;
+    seed = 1;
+    time_budget = None;
+  }
+
+type result = {
+  programs : Program.t list;
+  stats : Cegis.stats;
+  multisets_total : int;
+  elapsed : float;
+  budget_exhausted : bool;
+}
+
+let countable opts p = Program.n_components p >= opts.min_components
+
+let now = Unix.gettimeofday
+
+let over_budget opts ~started =
+  match opts.time_budget with
+  | None -> false
+  | Some b -> now () -. started > b

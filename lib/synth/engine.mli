@@ -1,0 +1,30 @@
+(** Options and results shared by the three synthesis engines
+    (classical/Brahma, iterative, HPF). *)
+
+type options = {
+  config : Cegis.config;
+  n_max : int;  (** largest multiset size *)
+  k : int;  (** stop once this many programs of >= [min_components] exist *)
+  min_components : int;
+      (** the paper counts only programs "consisting of at least three
+          components" towards the early-stop threshold *)
+  seed : int;  (** shuffle seed for the iterative baseline *)
+  time_budget : float option;  (** wall-clock seconds *)
+}
+
+val default_options : options
+
+type result = {
+  programs : Program.t list;
+  stats : Cegis.stats;
+  multisets_total : int;
+  elapsed : float;
+  budget_exhausted : bool;
+}
+
+val countable : options -> Program.t -> bool
+(** Does a program count towards [k]? *)
+
+val now : unit -> float
+
+val over_budget : options -> started:float -> bool

@@ -1,0 +1,10 @@
+(** Iterative CEGIS (Buchwald et al., Section 2.2): enumerate multisets of
+    increasing size by combinations with replacement, shuffle them (with the
+    engine seed) and run component-based CEGIS on each in turn until [k]
+    countable programs are found. *)
+
+val synthesize :
+  options:Engine.options ->
+  spec:Component.spec ->
+  library:Component.t list ->
+  Engine.result

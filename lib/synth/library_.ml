@@ -1,0 +1,289 @@
+module Bv = Sqed_bv.Bv
+module Term = Sqed_smt.Term
+module Insn = Sqed_isa.Insn
+module Semantics = Sqed_isa.Semantics
+
+let reg_src = function
+  | `Reg r -> r
+  | `Imm _ -> invalid_arg "component: expected register source"
+
+let imm_src = function
+  | `Imm v -> v
+  | `Reg _ -> invalid_arg "component: expected immediate source"
+
+let args2 = function
+  | [ a; b ] -> (a, b)
+  | _ -> invalid_arg "component: arity"
+
+let args1 = function [ a ] -> a | _ -> invalid_arg "component: arity"
+
+(* -- NIC: R-type instructions with all operands as inputs --------------- *)
+
+let nic op =
+  {
+    Component.label = Insn.rop_name op;
+    name = Insn.rop_name op;
+    cls = Component.NIC;
+    inputs = [ Component.Reg; Component.Reg ];
+    attrs = [];
+    sem =
+      (fun ~xlen args _attrs ->
+        let a, b = args2 args in
+        Semantics.r_result ~xlen op a b);
+    n_temps = 0;
+    instantiate =
+      (fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps:_ ->
+        let a, b = args2 srcs in
+        [ Insn.R (op, dst, reg_src a, reg_src b) ]);
+  }
+
+let nics =
+  List.map nic
+    [
+      Insn.ADD;
+      Insn.SUB;
+      Insn.SLL;
+      Insn.SLT;
+      Insn.SLTU;
+      Insn.XOR;
+      Insn.SRL;
+      Insn.SRA;
+      Insn.OR;
+      Insn.AND;
+    ]
+
+(* -- DIC: I-type instructions with the immediate as attribute ----------- *)
+
+let is_shift = function
+  | Insn.SLLI | Insn.SRLI | Insn.SRAI -> true
+  | Insn.ADDI | Insn.SLTI | Insn.SLTIU | Insn.XORI | Insn.ORI | Insn.ANDI ->
+      false
+
+let dic op =
+  let shift = is_shift op in
+  let attr_width = if shift then 5 else 12 in
+  {
+    Component.label = Insn.iop_name op ^ "#";
+    name = Insn.iop_name op;
+    cls = Component.DIC;
+    inputs = [ Component.Reg ];
+    attrs = [ attr_width ];
+    sem =
+      (fun ~xlen args attrs ->
+        let a = args1 args and imm = args1 attrs in
+        let imm12 = if shift then Term.zext imm 12 else imm in
+        Semantics.i_result ~xlen op a ~imm:imm12);
+    n_temps = 0;
+    instantiate =
+      (fun ~xlen:_ ~dst ~srcs ~attrs ~temps:_ ->
+        let a = args1 srcs and imm = args1 attrs in
+        let v = if shift then Bv.to_int imm else Bv.to_signed_int imm in
+        [ Insn.I (op, dst, reg_src a, v) ]);
+  }
+
+let dic_lui =
+  {
+    Component.label = "LUI#";
+    name = "LUI";
+    cls = Component.DIC;
+    inputs = [];
+    attrs = [ 20 ];
+    sem =
+      (fun ~xlen args attrs ->
+        (match args with [] -> () | _ -> invalid_arg "LUI#: arity");
+        Semantics.lui_result ~xlen (args1 attrs));
+    n_temps = 0;
+    instantiate =
+      (fun ~xlen:_ ~dst ~srcs:_ ~attrs ~temps:_ ->
+        [ Insn.Lui (dst, Bv.to_int (args1 attrs)) ]);
+  }
+
+let dics =
+  List.map dic
+    [
+      Insn.ADDI;
+      Insn.SLTI;
+      Insn.SLTIU;
+      Insn.XORI;
+      Insn.ORI;
+      Insn.ANDI;
+      Insn.SLLI;
+      Insn.SRLI;
+      Insn.SRAI;
+    ]
+  @ [ dic_lui ]
+
+(* -- CIC: fixed short instruction sequences as single components -------- *)
+
+let cic ~label ~name ~inputs ~attrs ~n_temps ~sem ~instantiate =
+  { Component.label; name; cls = Component.CIC; inputs; attrs; sem; n_temps; instantiate }
+
+let cic_neg =
+  cic ~label:"NEG" ~name:"SUB" ~inputs:[ Component.Reg ] ~attrs:[] ~n_temps:0
+    ~sem:(fun ~xlen:_ args _ -> Term.neg (args1 args))
+    ~instantiate:(fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps:_ ->
+      [ Insn.R (Insn.SUB, dst, 0, reg_src (args1 srcs)) ])
+
+let cic_not =
+  cic ~label:"NOT" ~name:"XORI" ~inputs:[ Component.Reg ] ~attrs:[] ~n_temps:0
+    ~sem:(fun ~xlen:_ args _ -> Term.not_ (args1 args))
+    ~instantiate:(fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps:_ ->
+      [ Insn.I (Insn.XORI, dst, reg_src (args1 srcs), -1) ])
+
+(* Multiplication by a constant (Section 4.1's CIC example): keeps MUL in
+   reach of the bit-vector solver by fixing one operand. *)
+let cic_mulc =
+  cic ~label:"MULC" ~name:"MUL" ~inputs:[ Component.Reg ] ~attrs:[ 12 ]
+    ~n_temps:1
+    ~sem:(fun ~xlen args attrs ->
+      Term.mul (args1 args) (Semantics.ext_imm ~xlen (args1 attrs)))
+    ~instantiate:(fun ~xlen:_ ~dst ~srcs ~attrs ~temps ->
+      let t = args1 temps in
+      [
+        Insn.I (Insn.ADDI, t, 0, Bv.to_signed_int (args1 attrs));
+        Insn.R (Insn.MUL, dst, reg_src (args1 srcs), t);
+      ])
+
+(* Sign smear: all-ones when negative (one SRAI by XLEN-1). *)
+let cic_smear =
+  cic ~label:"SMEAR" ~name:"SRAI" ~inputs:[ Component.Reg ] ~attrs:[]
+    ~n_temps:0
+    ~sem:(fun ~xlen args _ ->
+      Term.ashr (args1 args) (Term.of_int ~width:xlen (xlen - 1)))
+    ~instantiate:(fun ~xlen ~dst ~srcs ~attrs:_ ~temps:_ ->
+      [ Insn.I (Insn.SRAI, dst, reg_src (args1 srcs), xlen - 1) ])
+
+(* The xor/shift core of the arithmetic right shift decomposition:
+   srl(a ^ smear(a), b). *)
+let cic_sra_core =
+  cic ~label:"SRACORE" ~name:"SRL" ~inputs:[ Component.Reg; Component.Reg ]
+    ~attrs:[] ~n_temps:2
+    ~sem:(fun ~xlen args _ ->
+      let a, b = args2 args in
+      let smear = Term.ashr a (Term.of_int ~width:xlen (xlen - 1)) in
+      Term.lshr (Term.xor a smear) (Semantics.shamt_mask ~xlen b))
+    ~instantiate:(fun ~xlen ~dst ~srcs ~attrs:_ ~temps ->
+      let a, b = args2 srcs in
+      let t1, t2 = args2 temps in
+      [
+        Insn.I (Insn.SRAI, t1, reg_src a, xlen - 1);
+        Insn.R (Insn.XOR, t2, reg_src a, t1);
+        Insn.R (Insn.SRL, dst, t2, reg_src b);
+      ])
+
+(* Unsigned high multiply exposed as a composite (Section 4.1's device for
+   keeping multiplication within the solver's reach). *)
+let cic_mulhu =
+  cic ~label:"MULHUC" ~name:"MULHU" ~inputs:[ Component.Reg; Component.Reg ]
+    ~attrs:[] ~n_temps:0
+    ~sem:(fun ~xlen args _ ->
+      let a, b = args2 args in
+      Semantics.r_result ~xlen Insn.MULHU a b)
+    ~instantiate:(fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps:_ ->
+      let a, b = args2 srcs in
+      [ Insn.R (Insn.MULHU, dst, reg_src a, reg_src b) ])
+
+(* The signed-high correction (a<0 ? b : 0) + (b<0 ? a : 0). *)
+let cic_mulh_corr =
+  cic ~label:"MHCORR" ~name:"AND" ~inputs:[ Component.Reg; Component.Reg ]
+    ~attrs:[] ~n_temps:2
+    ~sem:(fun ~xlen args _ ->
+      let a, b = args2 args in
+      let sm x = Term.ashr x (Term.of_int ~width:xlen (xlen - 1)) in
+      Term.add (Term.and_ (sm a) b) (Term.and_ (sm b) a))
+    ~instantiate:(fun ~xlen ~dst ~srcs ~attrs:_ ~temps ->
+      let a, b = args2 srcs in
+      let t1, t2 = args2 temps in
+      [
+        Insn.I (Insn.SRAI, t1, reg_src a, xlen - 1);
+        Insn.R (Insn.AND, t1, t1, reg_src b);
+        Insn.I (Insn.SRAI, t2, reg_src b, xlen - 1);
+        Insn.R (Insn.AND, t2, t2, reg_src a);
+        Insn.R (Insn.ADD, dst, t1, t2);
+      ])
+
+let args3 = function
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> invalid_arg "component: arity"
+
+let cic_add3 =
+  cic ~label:"ADD3" ~name:"ADD"
+    ~inputs:[ Component.Reg; Component.Reg; Component.Reg ] ~attrs:[]
+    ~n_temps:1
+    ~sem:(fun ~xlen:_ args _ ->
+      let a, b, c = args3 args in
+      Term.add (Term.add a b) c)
+    ~instantiate:(fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps ->
+      let a, b, c = args3 srcs in
+      let t = args1 temps in
+      [
+        Insn.R (Insn.ADD, t, reg_src a, reg_src b);
+        Insn.R (Insn.ADD, dst, t, reg_src c);
+      ])
+
+let two_insn_logic ~label ~name ~sem mk =
+  cic ~label ~name ~inputs:[ Component.Reg; Component.Reg ] ~attrs:[]
+    ~n_temps:1
+    ~sem:(fun ~xlen:_ args _ ->
+      let a, b = args2 args in
+      sem a b)
+    ~instantiate:(fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps ->
+      let a, b = args2 srcs in
+      mk ~dst ~a:(reg_src a) ~b:(reg_src b) ~t:(args1 temps))
+
+let cic_andn =
+  two_insn_logic ~label:"ANDN" ~name:"AND"
+    ~sem:(fun a b -> Term.and_ a (Term.not_ b))
+    (fun ~dst ~a ~b ~t ->
+      [ Insn.I (Insn.XORI, t, b, -1); Insn.R (Insn.AND, dst, a, t) ])
+
+let cics =
+  [
+    cic_neg;
+    cic_not;
+    cic_mulc;
+    cic_add3;
+    cic_andn;
+    cic_smear;
+    cic_sra_core;
+    cic_mulhu;
+    cic_mulh_corr;
+  ]
+
+(* -- the immediate-input form -------------------------------------------- *)
+
+let imm_input =
+  {
+    Component.label = "IMMIN";
+    name = "ADDI";
+    cls = Component.NIC;
+    inputs = [ Component.Imm12 ];
+    attrs = [];
+    sem =
+      (fun ~xlen args _ -> Semantics.ext_imm ~xlen (args1 args));
+    n_temps = 0;
+    instantiate =
+      (fun ~xlen:_ ~dst ~srcs ~attrs:_ ~temps:_ ->
+        [ Insn.I (Insn.ADDI, dst, 0, imm_src (args1 srcs)) ]);
+  }
+
+let default = nics @ dics @ cics @ [ imm_input ]
+
+let find label = List.find (fun c -> c.Component.label = label) default
+
+(* -- specs ---------------------------------------------------------------- *)
+
+let spec name =
+  match List.find_opt (fun op -> Insn.rop_name op = name) Insn.all_rops with
+  | Some op -> Component.spec_of_rop op
+  | None -> (
+      match List.find_opt (fun op -> Insn.iop_name op = name) Insn.all_iops with
+      | Some op -> Component.spec_of_iop op
+      | None -> invalid_arg ("Library_.spec: unknown instruction " ^ name))
+
+let specs =
+  List.map spec
+    [
+      "ADD"; "SUB"; "XOR"; "OR"; "AND"; "SLT"; "SLTU"; "SRA"; "MULH";
+      "XORI"; "SLLI"; "SRAI";
+    ]

@@ -1,0 +1,25 @@
+(** Symbolic-location component-based CEGIS (Gulwani et al.'s encoding):
+    the component order and wiring are first-order location variables
+    solved together with the internal attributes, so one incremental SMT
+    session decides a whole multiset.
+
+    This is the engine behind both the per-multiset [CEGIS(g, S)] call of
+    Algorithm 1 (components = the multiset, every component required to be
+    used) and the classical whole-library baseline (components = the
+    entire library, used once each, dead components allowed). *)
+
+type outcome = Complete | Budget_exhausted
+
+val synthesize :
+  config:Cegis.config ->
+  spec:Component.spec ->
+  components:Component.t list ->
+  require_all_used:bool ->
+  max_programs:int ->
+  ?deadline:float ->
+  stats:Cegis.stats ->
+  unit ->
+  Program.t list * outcome
+(** Verified programs, wiring-distinct (each solution's location
+    assignment is blocked before searching for the next).  [deadline] is
+    an absolute [Unix.gettimeofday] instant. *)

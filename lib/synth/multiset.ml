@@ -1,0 +1,45 @@
+let combinations_with_replacement items n =
+  let items = Array.of_list items in
+  let len = Array.length items in
+  if n = 0 then [ [] ]
+  else begin
+    let out = ref [] in
+    (* Non-decreasing index tuples of length n. *)
+    let rec go start acc k =
+      if k = 0 then out := List.rev acc :: !out
+      else
+        for i = start to len - 1 do
+          go i (items.(i) :: acc) (k - 1)
+        done
+    in
+    go 0 [] n;
+    List.rev !out
+  end
+
+let up_to items n =
+  List.concat_map
+    (fun k -> combinations_with_replacement items k)
+    (List.init n (fun i -> i + 1))
+
+let count n k =
+  let binom n k =
+    let k = min k (n - k) in
+    let r = ref 1 in
+    for i = 1 to k do
+      (* Left-to-right product stays integral at every step. *)
+      r := !r * (n - k + i) / i
+    done;
+    !r
+  in
+  binom (n + k - 1) k
+
+let shuffle ~seed xs =
+  let rng = Random.State.make [| seed |] in
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a

@@ -1,0 +1,18 @@
+(** Combinations with replacement over the component library (the multiset
+    generation of the iterative CEGIS algorithm, Section 2.2). *)
+
+val combinations_with_replacement : 'a list -> int -> 'a list list
+(** All size-[n] multisets (as sorted-by-position lists); the count is
+    ((N over n)) = C(N + n - 1, n). *)
+
+val up_to : 'a list -> int -> 'a list list
+(** All multisets of sizes 1..n, concatenated smallest-first. *)
+
+val count : int -> int -> int
+(** [count n k] = C(n + k - 1, k), the number of size-[k] multisets from
+    [n] elements. *)
+
+val shuffle : seed:int -> 'a list -> 'a list
+(** Deterministic Fisher–Yates shuffle (the paper shuffles all multisets
+    before iterative CEGIS "to prevent the clustering of similar data
+    types"). *)

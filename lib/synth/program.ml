@@ -1,0 +1,136 @@
+module Bv = Sqed_bv.Bv
+module Term = Sqed_smt.Term
+
+type arg = Input of int | Line of int
+
+type line = { comp : Component.t; args : arg list; attr_values : Bv.t list }
+
+type t = { spec_inputs : Component.input_kind list; lines : line list }
+
+let n_components p = List.length p.lines
+
+let components p = List.map (fun l -> l.comp) p.lines
+
+let sem ~xlen p input_terms =
+  if List.length input_terms <> List.length p.spec_inputs then
+    invalid_arg "Program.sem: input arity mismatch";
+  let inputs = Array.of_list input_terms in
+  let outs = Array.make (List.length p.lines) None in
+  List.iteri
+    (fun i l ->
+      let resolve = function
+        | Input k -> inputs.(k)
+        | Line j -> (
+            match outs.(j) with Some t -> t | None -> assert false)
+      in
+      let args = List.map resolve l.args in
+      let attrs = List.map Term.const l.attr_values in
+      outs.(i) <- Some (l.comp.Component.sem ~xlen args attrs))
+    p.lines;
+  match outs.(Array.length outs - 1) with
+  | Some t -> t
+  | None -> invalid_arg "Program.sem: empty program"
+
+let eval ~xlen p input_values =
+  let term = sem ~xlen p (List.map Term.const input_values) in
+  Term.eval (fun _ -> assert false) term
+
+let temps_needed p =
+  let internal = List.fold_left (fun acc l -> acc + l.comp.Component.n_temps) 0 p.lines in
+  internal + (List.length p.lines - 1)
+
+let n_insns p =
+  List.fold_left
+    (fun acc l ->
+      (* Count instructions by instantiating with placeholder registers. *)
+      let comp = l.comp in
+      let srcs =
+        List.map
+          (function Component.Reg -> `Reg 0 | Component.Imm12 -> `Imm 0)
+          comp.Component.inputs
+      in
+      let temps = List.init comp.Component.n_temps (fun _ -> 0) in
+      acc
+      + List.length
+          (comp.Component.instantiate ~xlen:32 ~dst:1 ~srcs
+             ~attrs:l.attr_values ~temps))
+    0 p.lines
+
+let to_insns ~xlen p ~dst ~inputs ~temps =
+  if List.length inputs <> List.length p.spec_inputs then
+    invalid_arg "Program.to_insns: input arity mismatch";
+  let pool = ref temps in
+  let take_temp () =
+    match !pool with
+    | [] -> failwith "Program.to_insns: temp registers exhausted"
+    | t :: rest ->
+        pool := rest;
+        t
+  in
+  let inputs = Array.of_list inputs in
+  let n = List.length p.lines in
+  let line_regs = Array.make n 0 in
+  let code = ref [] in
+  List.iteri
+    (fun i l ->
+      let out_reg = if i = n - 1 then dst else take_temp () in
+      line_regs.(i) <- out_reg;
+      let srcs =
+        List.map2
+          (fun kind arg ->
+            match (kind, arg) with
+            | Component.Reg, Input k -> (
+                match inputs.(k) with
+                | `Reg r -> `Reg r
+                | `Imm _ ->
+                    failwith "Program.to_insns: register input wired to imm")
+            | Component.Reg, Line j -> `Reg line_regs.(j)
+            | Component.Imm12, Input k -> (
+                match inputs.(k) with
+                | `Imm v -> `Imm v
+                | `Reg _ ->
+                    failwith "Program.to_insns: imm input wired to register")
+            | Component.Imm12, Line _ ->
+                failwith "Program.to_insns: imm input wired to a line")
+          l.comp.Component.inputs l.args
+      in
+      let internal = List.init l.comp.Component.n_temps (fun _ -> take_temp ()) in
+      let insns =
+        l.comp.Component.instantiate ~xlen ~dst:out_reg ~srcs
+          ~attrs:l.attr_values ~temps:internal
+      in
+      code := !code @ insns)
+    p.lines;
+  !code
+
+let arg_to_string = function
+  | Input k -> Printf.sprintf "in%d" k
+  | Line j -> Printf.sprintf "t%d" j
+
+let to_string p =
+  String.concat "; "
+    (List.mapi
+       (fun i l ->
+         let attrs =
+           match l.attr_values with
+           | [] -> ""
+           | vs ->
+               "#"
+               ^ String.concat ","
+                   (List.map (fun v -> string_of_int (Bv.to_signed_int v)) vs)
+         in
+         Printf.sprintf "t%d = %s%s(%s)" i l.comp.Component.label attrs
+           (String.concat ", " (List.map arg_to_string l.args)))
+       p.lines)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let equal a b =
+  a.spec_inputs = b.spec_inputs
+  && List.length a.lines = List.length b.lines
+  && List.for_all2
+       (fun la lb ->
+         la.comp.Component.label = lb.comp.Component.label
+         && la.args = lb.args
+         && List.for_all2 Bv.equal la.attr_values lb.attr_values)
+       a.lines b.lines

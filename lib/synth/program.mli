@@ -1,0 +1,52 @@
+(** Loop-free dataflow programs over library components.
+
+    A program is an ordered list of lines; each line applies one component
+    to arguments that are either program inputs or outputs of earlier lines
+    (the linear-order location discipline of Gulwani et al.).  The output
+    of the last line is the program output. *)
+
+module Bv = Sqed_bv.Bv
+module Term = Sqed_smt.Term
+
+type arg = Input of int | Line of int
+
+type line = {
+  comp : Component.t;
+  args : arg list;  (** one per component input, in order *)
+  attr_values : Bv.t list;  (** one per component attribute *)
+}
+
+type t = {
+  spec_inputs : Component.input_kind list;
+  lines : line list;
+}
+
+val n_components : t -> int
+
+val n_insns : t -> int
+(** Instructions after expansion of every component. *)
+
+val components : t -> Component.t list
+
+val sem : xlen:int -> t -> Term.t list -> Term.t
+(** Symbolic output given terms for the program inputs. *)
+
+val eval : xlen:int -> t -> Bv.t list -> Bv.t
+(** Concrete evaluation (via constant terms). *)
+
+val to_insns :
+  xlen:int ->
+  t ->
+  dst:int ->
+  inputs:[ `Reg of int | `Imm of int ] list ->
+  temps:int list ->
+  Sqed_isa.Insn.t list
+(** Compile to an instruction sequence.  Line outputs and component-internal
+    scratch values draw distinct registers from [temps]; the final line
+    writes [dst] exactly once.  Raises [Failure] if [temps] is too short. *)
+
+val temps_needed : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,119 @@
+module Bv = Sqed_bv.Bv
+
+type skeleton = {
+  sk_inputs : Component.input_kind list;
+  sk_lines : (Component.t * Program.arg list) list;
+}
+
+(* Distinct permutations of a multiset, deduplicated by component label. *)
+let distinct_permutations comps =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+        (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x ys)
+  in
+  let perms =
+    List.fold_left
+      (fun acc c -> List.concat_map (insert_everywhere c) acc)
+      [ [] ] comps
+  in
+  let key p = List.map (fun c -> c.Component.label) p in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let k = key p in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    perms
+
+let cartesian (choices : 'a list list) : 'a list list =
+  List.fold_right
+    (fun options acc ->
+      List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
+    choices [ [] ]
+
+(* Sources available to a component input at line [i]. *)
+let sources ~spec_inputs ~line_idx kind =
+  let input_srcs =
+    List.concat
+      (List.mapi
+         (fun idx k -> if k = kind then [ Program.Input idx ] else [])
+         spec_inputs)
+  in
+  match kind with
+  | Component.Imm12 -> input_srcs
+  | Component.Reg ->
+      input_srcs @ List.init line_idx (fun j -> Program.Line j)
+
+let well_formed ~spec (lines : (Component.t * Program.arg list) list) =
+  let n = List.length lines in
+  (* No dead lines. *)
+  let used = Array.make n false in
+  used.(n - 1) <- true;
+  List.iter
+    (fun (_, args) ->
+      List.iter (function Program.Line j -> used.(j) <- true | _ -> ()) args)
+    lines;
+  Array.for_all Fun.id used
+  &&
+  (* Strengthened input constraint (Section 4.1): components sharing the
+     specification's name are excluded outright — identity wirings through
+     pass-through lines would otherwise let the "equivalent" program run
+     the original instruction on the original values, which defeats
+     single-instruction-bug detection. *)
+  List.for_all
+    (fun (c, _args) -> c.Component.name <> spec.Component.g_name)
+    lines
+
+let enumerate ~spec multiset =
+  let spec_inputs = spec.Component.g_inputs in
+  let perms = distinct_permutations multiset in
+  List.concat_map
+    (fun order ->
+      let wiring_choices =
+        List.mapi
+          (fun i c ->
+            let per_input =
+              List.map
+                (fun kind -> sources ~spec_inputs ~line_idx:i kind)
+                c.Component.inputs
+            in
+            List.map (fun args -> (c, args)) (cartesian per_input))
+          order
+      in
+      let all = cartesian wiring_choices in
+      List.filter_map
+        (fun lines ->
+          if well_formed ~spec lines then Some { sk_inputs = spec_inputs; sk_lines = lines }
+          else None)
+        all)
+    perms
+
+let attr_widths sk =
+  List.concat_map (fun (c, _) -> c.Component.attrs) sk.sk_lines
+
+let to_program sk attr_values =
+  let rec split vs widths =
+    match widths with
+    | [] -> ([], vs)
+    | w :: ws -> (
+        match vs with
+        | [] -> invalid_arg "Topology.to_program: not enough attributes"
+        | v :: rest ->
+            if Bv.width v <> w then
+              invalid_arg "Topology.to_program: attribute width mismatch";
+            let taken, remaining = split rest ws in
+            (v :: taken, remaining))
+  in
+  let lines, leftover =
+    List.fold_left
+      (fun (acc, vs) (c, args) ->
+        let taken, rest = split vs c.Component.attrs in
+        ( { Program.comp = c; args; attr_values = taken } :: acc, rest ))
+      ([], attr_values) sk.sk_lines
+  in
+  if leftover <> [] then invalid_arg "Topology.to_program: too many attributes";
+  { Program.spec_inputs = sk.sk_inputs; lines = List.rev lines }

@@ -1,0 +1,32 @@
+(** Enumeration of well-formed dataflow skeletons for a multiset of
+    components (the ψ_wfp discipline of Gulwani et al. made explicit).
+
+    A skeleton fixes the component order and the wiring of every component
+    input to a program input or an earlier line; only the internal
+    attribute values remain free (they are found by {!Cegis}).
+
+    Well-formedness enforced here:
+    - inputs connect only to sources of the same kind/width (register
+      inputs to XLEN-wide sources, [Imm12] inputs to 12-bit program
+      inputs);
+    - no dead lines: every line but the last feeds a later line;
+    - the paper's {e input constraint}: a component named like the
+      specification must not be wired identically to the specification's
+      own inputs (and a single-line program never reuses the
+      specification's instruction at all), so synthesis cannot degenerate
+      into plain duplication (SQED). *)
+
+type skeleton = {
+  sk_inputs : Component.input_kind list;
+  sk_lines : (Component.t * Program.arg list) list;
+}
+
+val enumerate : spec:Component.spec -> Component.t list -> skeleton list
+(** All well-formed skeletons for the given multiset (every distinct order
+    and wiring). *)
+
+val attr_widths : skeleton -> int list
+(** Widths of all free attributes, in line order. *)
+
+val to_program : skeleton -> Sqed_bv.Bv.t list -> Program.t
+(** Fill in attribute values (must match {!attr_widths}). *)

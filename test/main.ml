@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "sepe_sqed"
+    [
+      ("bv", Test_bv.suite);
+      ("sat", Test_sat.suite);
+      ("smt", Test_smt.suite);
+      ("rtl", Test_rtl.suite);
+      ("isa", Test_isa.suite);
+      ("proc", Test_proc.suite);
+      ("qed", Test_qed.suite);
+      ("synth", Test_synth.suite);
+      ("export", Test_export.suite);
+      ("bmc", Test_bmc.suite);
+    ]

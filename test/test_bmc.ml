@@ -1,0 +1,255 @@
+(* End-to-end bounded-model-checking tests at the tiny configuration: the
+   headline behaviours of the paper, checked as part of the test suite.
+   These are the slowest tests in the repository (each runs a real BMC
+   campaign through the full stack). *)
+
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+module V = Sepe_sqed.Verifier
+module Engine = Sqed_bmc.Engine
+module Trace = Sqed_bmc.Trace
+
+let cfg = Config.tiny
+
+let test_no_bug_clean () =
+  (* Soundness: the unmutated core satisfies the property (both schemes). *)
+  List.iter
+    (fun method_ ->
+      let r = V.run ~method_ ~bound:7 ~time_budget:300.0 cfg in
+      Alcotest.(check bool)
+        (V.method_name method_ ^ " clean")
+        false (V.detected r))
+    [ V.Sepe_sqed; V.Sqed ]
+
+let test_sepe_detects_single () =
+  let r =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10 ~time_budget:300.0
+      cfg
+  in
+  Alcotest.(check bool) "detected" true (V.detected r);
+  match V.trace r with
+  | None -> Alcotest.fail "no trace"
+  | Some t ->
+      Alcotest.(check bool) "has original instructions" true
+        (t.Trace.originals >= 1);
+      Alcotest.(check bool) "inconsistent at the end" true
+        (List.exists
+           (fun s -> s.Trace.qed_ready && not s.Trace.consistent)
+           t.Trace.steps);
+      Alcotest.(check bool) "trace prints" true
+        (String.length (Trace.to_string t) > 0)
+
+let test_sqed_misses_single () =
+  (* The same single-instruction bug, same depth: SQED proves consistency. *)
+  let r =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sqed ~bound:8 ~time_budget:600.0 cfg
+  in
+  Alcotest.(check bool) "not detected" false (V.detected r);
+  Alcotest.(check bool) "completed all bounds" true
+    (match r.V.outcome with
+    | Engine.No_counterexample -> true
+    | Engine.Gave_up _ | Engine.Counterexample _ -> false)
+
+let test_sepe_detects_multi () =
+  let r =
+    V.run ~bug:Bug.Bug_fwd_mem_rs1 ~method_:V.Sepe_sqed ~bound:10
+      ~time_budget:300.0 cfg
+  in
+  Alcotest.(check bool) "forwarding bug detected" true (V.detected r)
+
+let test_start_bound_same_result () =
+  (* Skipping provably clean depths must not change the counterexample. *)
+  let full =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10 ~time_budget:300.0
+      cfg
+  in
+  let skipping =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10 ~start_bound:6
+      ~time_budget:300.0 cfg
+  in
+  match (V.trace full, V.trace skipping) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same depth" a.Trace.length b.Trace.length
+  | _ -> Alcotest.fail "detection expected in both runs"
+
+let test_replay_witness () =
+  (* Every counterexample must replay concretely (witness validation). *)
+  List.iter
+    (fun (bug, method_) ->
+      let r = V.run ~bug ~method_ ~bound:12 ~time_budget:300.0 cfg in
+      match V.trace r with
+      | None -> Alcotest.fail "expected a counterexample"
+      | Some t ->
+          let model =
+            match method_ with
+            | V.Sqed -> Sqed_qed.Qed_top.eddi ~bug cfg
+            | V.Sepe_sqed -> Sqed_qed.Qed_top.edsep ~bug cfg
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s replays" (Bug.name bug)
+               (V.method_name method_))
+            true
+            (Engine.replay model t))
+    [
+      (Bug.Bug_add, V.Sepe_sqed);
+      (Bug.Bug_fwd_mem_rs1, V.Sepe_sqed);
+      (Bug.Bug_load_use_stall, V.Sepe_sqed);
+    ]
+
+let test_focus () =
+  (* Focusing the original stream on the mutated class is sound for
+     witness queries: detection persists and the trace's originals are all
+     of that class. *)
+  let focus = Sqed_qed.Equiv_table.Kr Sqed_isa.Insn.ADD in
+  let r =
+    V.run ~bug:Bug.Bug_add ~focus ~method_:V.Sepe_sqed ~bound:10
+      ~time_budget:300.0 cfg
+  in
+  match V.trace r with
+  | None -> Alcotest.fail "focused query should still detect"
+  | Some t ->
+      List.iter
+        (fun s ->
+          match s.Trace.orig_instr with
+          | Some (Sqed_isa.Insn.R (Sqed_isa.Insn.ADD, _, _, _)) | None -> ()
+          | Some i ->
+              Alcotest.fail
+                ("non-ADD original in focused trace: "
+                ^ Sqed_isa.Insn.to_string i))
+        t.Trace.steps;
+      let model = Sqed_qed.Qed_top.edsep ~bug:Bug.Bug_add ~focus cfg in
+      Alcotest.(check bool) "focused witness replays" true
+        (Engine.replay model t)
+
+let test_shrink () =
+  let bug = Bug.Bug_fwd_mem_rs1 in
+  let r = V.run ~bug ~method_:V.Sepe_sqed ~bound:12 ~time_budget:300.0 cfg in
+  match V.trace r with
+  | None -> Alcotest.fail "expected detection"
+  | Some t ->
+      let model = Sqed_qed.Qed_top.edsep ~bug cfg in
+      let s = Engine.shrink model t in
+      Alcotest.(check bool) "no longer than original" true
+        (s.Trace.length <= t.Trace.length);
+      Alcotest.(check bool) "not more originals" true
+        (s.Trace.originals <= t.Trace.originals);
+      Alcotest.(check bool) "shrunk trace replays" true
+        (Engine.replay model s)
+
+let test_three_stage_core () =
+  (* Microarchitecture independence: the unchanged QED layer verifies the
+     3-stage core — SEPE-SQED detects the uniform ADD bug, SQED stays
+     blind, and the unmutated core is clean. *)
+  let core = Sqed_qed.Qed_top.Three_stage in
+  let clean = V.run ~core ~method_:V.Sepe_sqed ~bound:8 ~time_budget:300.0 cfg in
+  Alcotest.(check bool) "3-stage clean" false (V.detected clean);
+  let sepe =
+    V.run ~core ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
+      ~time_budget:300.0 cfg
+  in
+  Alcotest.(check bool) "3-stage sepe detects" true (V.detected sepe);
+  let sqed =
+    V.run ~core ~bug:Bug.Bug_add ~method_:V.Sqed ~bound:8 ~time_budget:600.0
+      cfg
+  in
+  Alcotest.(check bool) "3-stage sqed blind" false (V.detected sqed)
+
+let test_bad_persistence () =
+  (* A violated state stays violated under idle inputs, so a cex at depth d
+     extends to any deeper bound; Table 1 relies on this to use single
+     deep queries in both directions. *)
+  let shallow =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10 ~time_budget:300.0
+      cfg
+  in
+  let d =
+    match V.trace shallow with
+    | Some t -> t.Trace.length
+    | None -> Alcotest.fail "expected detection"
+  in
+  let deep =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:(d + 3)
+      ~start_bound:(d + 3) ~time_budget:300.0 cfg
+  in
+  (match V.trace deep with
+  | Some t -> Alcotest.(check int) "single deep query hits" (d + 3) t.Trace.length
+  | None -> Alcotest.fail "cex did not persist to the deeper bound");
+  (* And the clean direction: SQED single deep query stays clean. *)
+  let sqed =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sqed ~bound:d ~start_bound:d
+      ~time_budget:600.0 cfg
+  in
+  Alcotest.(check bool) "sqed single-query clean" false (V.detected sqed)
+
+let test_kinduction_no_bug () =
+  (* The engine's behaviour on the real model: the no-bug EDSEP property is
+     not expected to be inductive at tiny k (its invariant involves
+     reachability of the commit counters), but it must never return a
+     base-case counterexample. *)
+  let model = Sqed_qed.Qed_top.edsep cfg in
+  let outcome, _ = Engine.prove ~max_k:2 ~time_budget:240.0 model in
+  match outcome with
+  | Engine.Base_cex _ -> Alcotest.fail "no-bug model produced a base cex"
+  | Engine.Proved _ | Engine.Not_inductive _ | Engine.Proof_gave_up _ -> ()
+
+let test_kinduction_base_cex () =
+  (* With a detectable bug the base case must surface the counterexample. *)
+  let model = Sqed_qed.Qed_top.edsep ~bug:Bug.Bug_add cfg in
+  let outcome, _ = Engine.prove ~max_k:10 ~time_budget:240.0 model in
+  match outcome with
+  | Engine.Base_cex t ->
+      Alcotest.(check bool) "cex depth sane" true (t.Trace.length >= 5)
+  | Engine.Proved k ->
+      Alcotest.fail (Printf.sprintf "claimed proved at k=%d with a bug" k)
+  | Engine.Not_inductive _ | Engine.Proof_gave_up _ ->
+      Alcotest.fail "expected the base case to find the bug"
+
+let test_gave_up_on_tiny_budget () =
+  let r =
+    V.run ~bug:Bug.Bug_add ~method_:V.Sqed ~bound:12 ~max_conflicts:100 cfg
+  in
+  Alcotest.(check bool) "gave up" true
+    (match r.V.outcome with Engine.Gave_up _ -> true | _ -> false)
+
+let test_synthesized_table_verifies () =
+  (* Fig. 1 end to end: table from HPF-CEGIS, then detection with it. *)
+  let options =
+    {
+      Sqed_synth.Engine.default_options with
+      Sqed_synth.Engine.k = 1;
+      min_components = 2;
+      time_budget = Some 60.0;
+      config =
+        { Sqed_synth.Cegis.default_config with Sqed_synth.Cegis.xlen = cfg.Config.xlen };
+    }
+  in
+  let table, cases =
+    Sepe_sqed.Flow.synthesize_table ~options ~cases:[ "ADD" ] cfg
+  in
+  Alcotest.(check int) "one case" 1 (List.length cases);
+  let r =
+    V.run ~bug:Bug.Bug_add ~table ~method_:V.Sepe_sqed ~bound:12
+      ~time_budget:300.0 cfg
+  in
+  Alcotest.(check bool) "bug detected with synthesized table" true
+    (V.detected r)
+
+let suite =
+  [
+    Alcotest.test_case "no bug: both schemes clean" `Slow test_no_bug_clean;
+    Alcotest.test_case "sepe detects single bug" `Slow test_sepe_detects_single;
+    Alcotest.test_case "sqed misses single bug" `Slow test_sqed_misses_single;
+    Alcotest.test_case "sepe detects multi bug" `Slow test_sepe_detects_multi;
+    Alcotest.test_case "start_bound equivalence" `Slow
+      test_start_bound_same_result;
+    Alcotest.test_case "witness replay" `Slow test_replay_witness;
+    Alcotest.test_case "three-stage core" `Slow test_three_stage_core;
+    Alcotest.test_case "bad persistence" `Slow test_bad_persistence;
+    Alcotest.test_case "cex shrinking" `Slow test_shrink;
+    Alcotest.test_case "class focus" `Slow test_focus;
+    Alcotest.test_case "k-induction no-bug" `Slow test_kinduction_no_bug;
+    Alcotest.test_case "k-induction base cex" `Slow test_kinduction_base_cex;
+    Alcotest.test_case "budget exhaustion" `Quick test_gave_up_on_tiny_budget;
+    Alcotest.test_case "synthesized table verifies" `Slow
+      test_synthesized_table_verifies;
+  ]

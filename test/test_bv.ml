@@ -1,0 +1,219 @@
+(* Unit and property tests for the Bv bitvector substrate. *)
+
+module Bv = Sqed_bv.Bv
+
+let check_bv msg expected actual =
+  Alcotest.(check string) msg (Bv.to_string expected) (Bv.to_string actual)
+
+let bv = Bv.of_int
+
+(* ---------------------------------------------------------------- *)
+(* Unit tests                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_construct () =
+  Alcotest.(check int) "width" 8 (Bv.width (Bv.zero 8));
+  Alcotest.(check int) "to_int zero" 0 (Bv.to_int (Bv.zero 8));
+  Alcotest.(check int) "to_int one" 1 (Bv.to_int (Bv.one 8));
+  Alcotest.(check int) "ones 8" 255 (Bv.to_int (Bv.ones 8));
+  Alcotest.(check int) "min_signed 8" 128 (Bv.to_int (Bv.min_signed 8));
+  Alcotest.(check int) "of_int trunc" 0x34 (Bv.to_int (bv ~width:8 0x1234));
+  Alcotest.(check int) "of_int neg" 0xFF (Bv.to_int (bv ~width:8 (-1)));
+  Alcotest.(check int) "of_int neg wide" 0xFFFF (Bv.to_int (bv ~width:16 (-1)))
+
+let test_construct_wide () =
+  let v = Bv.ones 100 in
+  Alcotest.(check int) "popcount ones 100" 100 (Bv.popcount v);
+  Alcotest.(check bool) "redand" true (Bv.redand v);
+  let w = Bv.zero 100 in
+  Alcotest.(check bool) "redor zero" false (Bv.redor w);
+  Alcotest.(check bool) "wide add wraps" true
+    (Bv.equal (Bv.add v (Bv.one 100)) (Bv.zero 100))
+
+let test_strings () =
+  Alcotest.(check int) "bin" 10 (Bv.to_int (Bv.of_binary_string "1010"));
+  Alcotest.(check int) "bin underscore" 10 (Bv.to_int (Bv.of_binary_string "10_10"));
+  Alcotest.(check int) "hex" 0xAB (Bv.to_int (Bv.of_hex_string ~width:8 "ab"));
+  Alcotest.(check string) "to_bin" "1010" (Bv.to_binary_string (bv ~width:4 10));
+  Alcotest.(check string) "to_hex" "0ff" (Bv.to_hex_string (bv ~width:12 255));
+  Alcotest.(check string) "to_string" "42:8" (Bv.to_string (bv ~width:8 42))
+
+let test_arith () =
+  check_bv "add" (bv ~width:8 30) (Bv.add (bv ~width:8 10) (bv ~width:8 20));
+  check_bv "add wrap" (bv ~width:8 4) (Bv.add (bv ~width:8 250) (bv ~width:8 10));
+  check_bv "sub" (bv ~width:8 246) (Bv.sub (bv ~width:8 0) (bv ~width:8 10));
+  check_bv "neg" (bv ~width:8 246) (Bv.neg (bv ~width:8 10));
+  check_bv "mul" (bv ~width:8 200) (Bv.mul (bv ~width:8 10) (bv ~width:8 20));
+  check_bv "mul wrap" (bv ~width:8 144) (Bv.mul (bv ~width:8 20) (bv ~width:8 20));
+  check_bv "udiv" (bv ~width:8 6) (Bv.udiv (bv ~width:8 20) (bv ~width:8 3));
+  check_bv "urem" (bv ~width:8 2) (Bv.urem (bv ~width:8 20) (bv ~width:8 3));
+  check_bv "udiv by 0" (Bv.ones 8) (Bv.udiv (bv ~width:8 20) (Bv.zero 8));
+  check_bv "urem by 0" (bv ~width:8 20) (Bv.urem (bv ~width:8 20) (Bv.zero 8))
+
+let test_sdiv () =
+  let s = Bv.of_int ~width:8 in
+  check_bv "sdiv -6/2" (s (-3)) (Bv.sdiv (s (-6)) (s 2));
+  check_bv "sdiv 6/-2" (s (-3)) (Bv.sdiv (s 6) (s (-2)));
+  check_bv "sdiv -6/-2" (s 3) (Bv.sdiv (s (-6)) (s (-2)));
+  check_bv "srem -7/2" (s (-1)) (Bv.srem (s (-7)) (s 2));
+  check_bv "srem 7/-2" (s 1) (Bv.srem (s 7) (s (-2)))
+
+let test_logic () =
+  check_bv "and" (bv ~width:8 0x0C) (Bv.logand (bv ~width:8 0x3C) (bv ~width:8 0x0F));
+  check_bv "or" (bv ~width:8 0x3F) (Bv.logor (bv ~width:8 0x3C) (bv ~width:8 0x0F));
+  check_bv "xor" (bv ~width:8 0x33) (Bv.logxor (bv ~width:8 0x3C) (bv ~width:8 0x0F));
+  check_bv "not" (bv ~width:8 0xC3) (Bv.lognot (bv ~width:8 0x3C))
+
+let test_shift () =
+  check_bv "shl" (bv ~width:8 0xF0) (Bv.shl (bv ~width:8 0x3C) 2);
+  check_bv "lshr" (bv ~width:8 0x0F) (Bv.lshr (bv ~width:8 0x3C) 2);
+  check_bv "ashr pos" (bv ~width:8 0x0F) (Bv.ashr (bv ~width:8 0x3C) 2);
+  check_bv "ashr neg" (bv ~width:8 0xF0) (Bv.ashr (bv ~width:8 0xC0) 2);
+  check_bv "shl overflow amt" (Bv.zero 8) (Bv.shl_bv (bv ~width:8 0xFF) (bv ~width:8 9));
+  check_bv "ashr_bv neg sat" (Bv.ones 8) (Bv.ashr_bv (bv ~width:8 0x80) (bv ~width:8 200));
+  check_bv "shl_bv" (bv ~width:8 0x08) (Bv.shl_bv (bv ~width:8 1) (bv ~width:4 3))
+
+let test_compare () =
+  Alcotest.(check bool) "ult" true (Bv.ult (bv ~width:8 3) (bv ~width:8 200));
+  Alcotest.(check bool) "ult msb" false (Bv.ult (bv ~width:8 200) (bv ~width:8 3));
+  Alcotest.(check bool) "slt neg" true (Bv.slt (bv ~width:8 200) (bv ~width:8 3));
+  Alcotest.(check bool) "slt pos" true (Bv.slt (bv ~width:8 2) (bv ~width:8 3));
+  Alcotest.(check bool) "sle eq" true (Bv.sle (bv ~width:8 3) (bv ~width:8 3));
+  Alcotest.(check bool) "ule" true (Bv.ule (bv ~width:8 3) (bv ~width:8 3))
+
+let test_structure () =
+  check_bv "extract" (bv ~width:4 0x3) (Bv.extract ~hi:5 ~lo:2 (bv ~width:8 0x0C));
+  check_bv "concat" (bv ~width:8 0xAB) (Bv.concat (bv ~width:4 0xA) (bv ~width:4 0xB));
+  check_bv "zext" (bv ~width:16 0x80) (Bv.zext (bv ~width:8 0x80) 16);
+  check_bv "sext" (bv ~width:16 0xFF80) (Bv.sext (bv ~width:8 0x80) 16);
+  check_bv "sext pos" (bv ~width:16 0x7F) (Bv.sext (bv ~width:8 0x7F) 16);
+  Alcotest.(check int) "signed" (-128) (Bv.to_signed_int (bv ~width:8 0x80));
+  Alcotest.(check int) "signed pos" 127 (Bv.to_signed_int (bv ~width:8 0x7F))
+
+let test_bits () =
+  let v = Bv.of_bits [| true; false; true |] in
+  Alcotest.(check int) "of_bits" 5 (Bv.to_int v);
+  Alcotest.(check bool) "get 0" true (Bv.get v 0);
+  Alcotest.(check bool) "get 1" false (Bv.get v 1);
+  Alcotest.(check bool) "msb" true (Bv.msb v)
+
+let test_errors () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Bv: width must be positive")
+    (fun () -> ignore (Bv.zero 0));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bv.add: width mismatch (8 vs 4)") (fun () ->
+      ignore (Bv.add (Bv.zero 8) (Bv.zero 4)))
+
+(* ---------------------------------------------------------------- *)
+(* Properties: Bv agrees with OCaml int64 arithmetic at width 64,    *)
+(* and algebraic identities hold at odd widths.                      *)
+(* ---------------------------------------------------------------- *)
+
+let arb_pair_bv width =
+  let gen =
+    QCheck.Gen.map2
+      (fun a b -> (Bv.of_int64 ~width a, Bv.of_int64 ~width b))
+      QCheck.Gen.int64 QCheck.Gen.int64
+  in
+  QCheck.make ~print:(fun (a, b) -> Bv.to_string a ^ ", " ^ Bv.to_string b) gen
+
+let prop name width f = QCheck.Test.make ~name ~count:500 (arb_pair_bv width) f
+
+let mask64 width x =
+  if width = 64 then x
+  else Int64.logand x (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let props =
+  [
+    prop "add matches int64" 64 (fun (a, b) ->
+        Bv.to_int64 (Bv.add a b) = Int64.add (Bv.to_int64 a) (Bv.to_int64 b));
+    prop "mul matches int64" 64 (fun (a, b) ->
+        Bv.to_int64 (Bv.mul a b) = Int64.mul (Bv.to_int64 a) (Bv.to_int64 b));
+    prop "sub then add roundtrip" 37 (fun (a, b) ->
+        Bv.equal a (Bv.add (Bv.sub a b) b));
+    prop "neg is 0 - x" 37 (fun (a, _) ->
+        Bv.equal (Bv.neg a) (Bv.sub (Bv.zero 37) a));
+    prop "de morgan" 37 (fun (a, b) ->
+        Bv.equal
+          (Bv.lognot (Bv.logand a b))
+          (Bv.logor (Bv.lognot a) (Bv.lognot b)));
+    prop "xor self-inverse" 37 (fun (a, b) ->
+        Bv.equal a (Bv.logxor (Bv.logxor a b) b));
+    prop "udivrem reconstruction" 23 (fun (a, b) ->
+        let a = Bv.extract ~hi:22 ~lo:0 a and b = Bv.extract ~hi:22 ~lo:0 b in
+        Bv.is_zero b
+        || Bv.equal a (Bv.add (Bv.mul (Bv.udiv a b) b) (Bv.urem a b)));
+    prop "concat extract roundtrip" 40 (fun (a, _) ->
+        let hi = Bv.extract ~hi:39 ~lo:20 a and lo = Bv.extract ~hi:19 ~lo:0 a in
+        Bv.equal a (Bv.concat hi lo));
+    prop "slt antisymmetric-ish" 37 (fun (a, b) ->
+        not (Bv.slt a b && Bv.slt b a));
+    prop "ashr sign preserved" 37 (fun (a, _) ->
+        Bv.msb (Bv.ashr a 5) = Bv.msb a);
+    prop "shl then lshr clears high" 37 (fun (a, _) ->
+        let k = 7 in
+        Bv.equal (Bv.lshr (Bv.shl a k) k)
+          (Bv.logand a (Bv.lshr (Bv.ones 37) k)));
+    prop "sext then extract is id" 24 (fun (a, _) ->
+        let a = Bv.extract ~hi:23 ~lo:0 a in
+        Bv.equal a (Bv.extract ~hi:23 ~lo:0 (Bv.sext a 64)));
+    prop "mulhu via 128-bit" 64 (fun (a, b) ->
+        (* high 64 bits of the 128-bit product, cross-checked against the
+           wide multiplier itself at a different width split *)
+        let wa = Bv.zext a 128 and wb = Bv.zext b 128 in
+        let p = Bv.mul wa wb in
+        let lo = Bv.extract ~hi:63 ~lo:0 p in
+        Bv.equal lo (Bv.mul a b));
+    prop "to/of int64 roundtrip" 64 (fun (a, _) ->
+        Bv.equal a (Bv.of_int64 ~width:64 (Bv.to_int64 a)));
+    prop "compare consistent with ult" 37 (fun (a, b) ->
+        if Bv.ult a b then Bv.compare a b < 0
+        else if Bv.equal a b then Bv.compare a b = 0
+        else Bv.compare a b > 0);
+    prop "udiv matches int64 unsigned" 64 (fun (a, b) ->
+        Bv.is_zero b
+        || Bv.to_int64 (Bv.udiv a b)
+           = Int64.unsigned_div (Bv.to_int64 a) (Bv.to_int64 b));
+    prop "lshr matches int64" 64 (fun (a, _) ->
+        Bv.to_int64 (Bv.lshr a 13)
+        = Int64.shift_right_logical (Bv.to_int64 a) 13);
+    prop "mask64 sanity" 17 (fun (a, _) ->
+        Bv.to_int64 a = mask64 17 (Bv.to_int64 a));
+    prop "hex roundtrip" 23 (fun (a, _) ->
+        let a = Bv.extract ~hi:22 ~lo:0 a in
+        Bv.equal a (Bv.of_hex_string ~width:23 (Bv.to_hex_string a)));
+    prop "binary roundtrip" 37 (fun (a, _) ->
+        Bv.equal a (Bv.of_binary_string (Bv.to_binary_string a)));
+    prop "popcount of not" 37 (fun (a, _) ->
+        Bv.popcount a + Bv.popcount (Bv.lognot a) = 37);
+    prop "sdiv matches int64" 64 (fun (a, b) ->
+        Bv.is_zero b
+        || Bv.equal (Bv.min_signed 64) a && Bv.equal (Bv.ones 64) b
+        || Bv.to_int64 (Bv.sdiv a b)
+           = Int64.div (Bv.to_int64 a) (Bv.to_int64 b));
+    prop "srem matches int64" 64 (fun (a, b) ->
+        Bv.is_zero b
+        || Bv.equal (Bv.min_signed 64) a && Bv.equal (Bv.ones 64) b
+        || Bv.to_int64 (Bv.srem a b)
+           = Int64.rem (Bv.to_int64 a) (Bv.to_int64 b));
+    prop "sdiv/srem reconstruction" 19 (fun (a, b) ->
+        let a = Bv.extract ~hi:18 ~lo:0 a and b = Bv.extract ~hi:18 ~lo:0 b in
+        Bv.is_zero b
+        || Bv.equal a (Bv.add (Bv.mul (Bv.sdiv a b) b) (Bv.srem a b)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "construct" `Quick test_construct;
+    Alcotest.test_case "construct wide" `Quick test_construct_wide;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "sdiv/srem" `Quick test_sdiv;
+    Alcotest.test_case "logic" `Quick test_logic;
+    Alcotest.test_case "shift" `Quick test_shift;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "bits" `Quick test_bits;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

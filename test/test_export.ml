@@ -1,0 +1,227 @@
+(* Tests for the interchange layers: DIMACS CNF, BTOR2 and Verilog export,
+   waveforms, and the concrete QED simulation campaigns. *)
+
+module Bv = Sqed_bv.Bv
+module Sat = Sqed_sat.Sat
+module Dimacs = Sqed_sat.Dimacs
+module C = Sqed_rtl.Circuit
+module Node = Sqed_rtl.Node
+module Btor2 = Sqed_rtl.Btor2
+module Verilog = Sqed_rtl.Verilog
+module Waveform = Sqed_rtl.Waveform
+module Sim = Sqed_rtl.Sim
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+module Qed_top = Sqed_qed.Qed_top
+module Qed_sim = Sqed_qed.Qed_sim
+module Partition = Sqed_qed.Partition
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---------------------------------------------------------------- *)
+(* DIMACS                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_dimacs_parse () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  match Dimacs.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok cnf ->
+      Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+      Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+      Alcotest.(check (list (list int))) "content" [ [ 1; -2 ]; [ 2; 3 ] ]
+        cnf.Dimacs.clauses
+
+let test_dimacs_errors () =
+  Alcotest.(check bool) "bad token" true
+    (match Dimacs.parse "p cnf 1 1\nx 0\n" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "literal out of range" true
+    (match Dimacs.parse "p cnf 1 1\n5 0\n" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "clause count mismatch" true
+    (match Dimacs.parse "p cnf 1 2\n1 0\n" with Error _ -> true | Ok _ -> false)
+
+let test_dimacs_roundtrip_solve () =
+  let cnf = { Dimacs.num_vars = 2; clauses = [ [ 1 ]; [ -1; 2 ] ] } in
+  (match Dimacs.parse (Dimacs.print cnf) with
+  | Ok cnf' -> Alcotest.(check bool) "roundtrip" true (cnf = cnf')
+  | Error e -> Alcotest.fail e);
+  match Dimacs.solve cnf with
+  | Sat.Sat, Some model ->
+      Alcotest.(check bool) "x1" true model.(0);
+      Alcotest.(check bool) "x2" true model.(1)
+  | _ -> Alcotest.fail "expected SAT with model"
+
+let test_dimacs_unsat () =
+  let cnf = { Dimacs.num_vars = 1; clauses = [ [ 1 ]; [ -1 ] ] } in
+  match Dimacs.solve cnf with
+  | Sat.Unsat, None -> ()
+  | _ -> Alcotest.fail "expected UNSAT"
+
+(* ---------------------------------------------------------------- *)
+(* BTOR2 / Verilog                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let sample_circuit () =
+  let b = C.create "sample" in
+  let x = C.input b "x" 4 in
+  let r = C.reg_const b ~name:"acc" ~width:4 0 in
+  C.connect b r (C.add b r x);
+  let sym = C.reg b ~name:"free" ~init:(Node.Symbolic_init "free0") ~width:2 in
+  C.connect b sym sym;
+  C.output b "acc" r;
+  C.output b "bad" (C.eq b r (C.consti b ~width:4 15));
+  C.output b "assume_ok" (C.ule b x (C.consti b ~width:4 7));
+  C.finalize b
+
+let test_btor2_structure () =
+  let s = Btor2.to_string (sample_circuit ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "sort bitvec 4"; "input"; "state"; "next"; "init"; "bad"; "constraint" ];
+  (* The symbolic register must have no init line: count inits = 1. *)
+  let inits =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> contains l " init ")
+  in
+  Alcotest.(check int) "one init" 1 (List.length inits)
+
+let test_btor2_qed_top () =
+  (* Export of the full verification model must succeed and carry a bad
+     property plus a constraint. *)
+  let model = Qed_top.edsep ~bug:Bug.Bug_add Config.tiny in
+  let s = Btor2.to_string model.Qed_top.circuit in
+  Alcotest.(check bool) "bad" true (contains s " bad ");
+  Alcotest.(check bool) "constraint" true (contains s " constraint ");
+  Alcotest.(check bool) "substantial" true (String.length s > 10_000)
+
+let test_btor2_validates () =
+  (* Our own exports must pass the well-formedness checker. *)
+  List.iter
+    (fun circuit ->
+      match Btor2.validate (Btor2.to_string circuit) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [
+      sample_circuit ();
+      (Qed_top.edsep Config.tiny).Qed_top.circuit;
+      (Qed_top.eddi ~bug:Bug.Bug_sw Config.tiny).Qed_top.circuit;
+    ]
+
+let test_btor2_validator_rejects () =
+  List.iter
+    (fun (label, text) ->
+      match Btor2.validate text with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail ("accepted " ^ label))
+    [
+      ("non-increasing ids", "1 sort bitvec 4\n1 input 1 x\n");
+      ("undefined operand", "1 sort bitvec 4\n2 not 1 9\n");
+      ("const width mismatch", "1 sort bitvec 4\n2 const 1 01\n");
+      ("bad as word", "1 sort bitvec 4\n2 input 1 x\n3 bad 2\n");
+      ( "slice out of range",
+        "1 sort bitvec 4\n2 input 1 x\n3 sort bitvec 2\n4 slice 3 2 7 6\n" );
+    ]
+
+let test_verilog_structure () =
+  let s = Verilog.to_string ~module_name:"sample" (sample_circuit ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [
+      "module sample"; "input  wire clk"; "output wire"; "always @(posedge clk)";
+      "endmodule"; "assign";
+    ]
+
+let test_verilog_qed_top () =
+  let model = Qed_top.eddi Config.tiny in
+  let s = Verilog.to_string model.Qed_top.circuit in
+  Alcotest.(check bool) "emits" true (String.length s > 10_000);
+  Alcotest.(check bool) "no unsanitized brackets in identifiers" true
+    (not (contains s "r_dmem["))
+
+(* ---------------------------------------------------------------- *)
+(* Waveform                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_waveform () =
+  let w = Waveform.create () in
+  Waveform.record w [ ("clk", Bv.one 1); ("data", Bv.of_int ~width:8 5) ];
+  Waveform.record w [ ("clk", Bv.zero 1); ("data", Bv.of_int ~width:8 5) ];
+  Waveform.record w [ ("clk", Bv.one 1); ("data", Bv.of_int ~width:8 9) ];
+  let s = Waveform.to_string w in
+  Alcotest.(check bool) "clk row" true (contains s "clk");
+  Alcotest.(check bool) "bit drawing" true (contains s "#_#");
+  Alcotest.(check bool) "hex value" true (contains s "09");
+  let only = Waveform.to_string ~signals:[ "data" ] w in
+  Alcotest.(check bool) "filtered" true (not (contains only "clk"))
+
+let test_waveform_from_sim () =
+  let b = C.create "cnt" in
+  let en = C.input b "en" 1 in
+  let r = C.reg_const b ~name:"n" ~width:4 0 in
+  C.connect b r (C.mux b en (C.add b r (C.consti b ~width:4 1)) r);
+  C.output b "n" r;
+  let c = C.finalize b in
+  let sim = Sim.create c in
+  let w = Waveform.create () in
+  for _ = 1 to 5 do
+    Waveform.record_outputs w sim [ ("en", Bv.one 1) ]
+  done;
+  Alcotest.(check bool) "counts up" true
+    (contains (Waveform.to_string w) "4")
+
+(* ---------------------------------------------------------------- *)
+(* Concrete QED campaigns                                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_campaign_clean () =
+  (* No bug: zero detections, every run must reach a consistent ready
+     state. *)
+  let c =
+    Qed_sim.campaign ~scheme:Partition.Edsep ~seed:11 ~runs:20
+      ~program_length:3 Config.small
+  in
+  Alcotest.(check int) "no detections" 0 c.Qed_sim.detections;
+  Alcotest.(check int) "ran all" 20 c.Qed_sim.runs
+
+let test_campaign_detects () =
+  (* A single-instruction bug is eventually caught by concrete EDSEP
+     testing (probabilistically, hence many short runs). *)
+  let c =
+    Qed_sim.campaign ~bug:Bug.Bug_add ~scheme:Partition.Edsep ~seed:3
+      ~runs:60 ~program_length:4 Config.small
+  in
+  Alcotest.(check bool) "some detection" true (c.Qed_sim.detections > 0)
+
+let test_campaign_eddi_blind () =
+  (* Concrete EDDI testing shares SQED's blindness to uniform bugs. *)
+  let c =
+    Qed_sim.campaign ~bug:Bug.Bug_add ~scheme:Partition.Eddi ~seed:3 ~runs:40
+      ~program_length:4 Config.small
+  in
+  Alcotest.(check int) "no detections" 0 c.Qed_sim.detections
+
+let suite =
+  [
+    Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
+    Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+    Alcotest.test_case "dimacs roundtrip+solve" `Quick
+      test_dimacs_roundtrip_solve;
+    Alcotest.test_case "dimacs unsat" `Quick test_dimacs_unsat;
+    Alcotest.test_case "btor2 structure" `Quick test_btor2_structure;
+    Alcotest.test_case "btor2 qed-top" `Quick test_btor2_qed_top;
+    Alcotest.test_case "btor2 validates own output" `Quick test_btor2_validates;
+    Alcotest.test_case "btor2 validator rejects" `Quick
+      test_btor2_validator_rejects;
+    Alcotest.test_case "verilog structure" `Quick test_verilog_structure;
+    Alcotest.test_case "verilog qed-top" `Quick test_verilog_qed_top;
+    Alcotest.test_case "waveform" `Quick test_waveform;
+    Alcotest.test_case "waveform from sim" `Quick test_waveform_from_sim;
+    Alcotest.test_case "campaign clean" `Quick test_campaign_clean;
+    Alcotest.test_case "campaign detects" `Quick test_campaign_detects;
+    Alcotest.test_case "campaign eddi blind" `Quick test_campaign_eddi_blind;
+  ]

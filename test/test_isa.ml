@@ -1,0 +1,267 @@
+(* ISA layer tests: encode/decode roundtrips against the standard RV32
+   encodings, interpreter unit tests, assembler roundtrips, and the key
+   differential property that symbolic semantics agree with the concrete
+   interpreter for every opcode. *)
+
+module Bv = Sqed_bv.Bv
+module Insn = Sqed_isa.Insn
+module Encode = Sqed_isa.Encode
+module Exec = Sqed_isa.Exec
+module Semantics = Sqed_isa.Semantics
+module Asm = Sqed_isa.Asm
+module Term = Sqed_smt.Term
+
+let test_known_encodings () =
+  (* Golden words cross-checked against the RISC-V spec tables. *)
+  let check insn expected =
+    Alcotest.(check string)
+      (Insn.to_string insn) expected
+      (Bv.to_hex_string (Encode.encode insn))
+  in
+  check (Insn.R (Insn.ADD, 1, 2, 3)) "003100b3";
+  check (Insn.R (Insn.SUB, 1, 2, 3)) "403100b3";
+  check (Insn.R (Insn.MUL, 5, 6, 7)) "027302b3";
+  check (Insn.I (Insn.ADDI, 1, 2, -1)) "fff10093";
+  check (Insn.I (Insn.SRAI, 1, 2, 4)) "40415093";
+  check (Insn.Lw (1, 0, 4)) "00402083";
+  check (Insn.Sw (1, 0, 4)) "00102223";
+  check (Insn.Lui (1, 0x12345)) "123450b7"
+
+let test_decode_garbage () =
+  Alcotest.(check bool) "all ones undecodable" true
+    (Encode.decode (Bv.ones 32) = None);
+  Alcotest.(check bool) "zero undecodable" true
+    (Encode.decode (Bv.zero 32) = None)
+
+let test_fields () =
+  let w = Encode.encode (Insn.R (Insn.ADD, 1, 2, 3)) in
+  Alcotest.(check int) "rd" 1 (Encode.rd_field w);
+  Alcotest.(check int) "rs1" 2 (Encode.rs1_field w);
+  Alcotest.(check int) "rs2" 3 (Encode.rs2_field w);
+  let w = Encode.encode (Insn.Sw (7, 3, -4)) in
+  Alcotest.(check int) "store imm" (-4) (Encode.imm_s_field w)
+
+let test_insn_metadata () =
+  Alcotest.(check (option int)) "rd of R" (Some 1)
+    (Insn.rd (Insn.R (Insn.ADD, 1, 2, 3)));
+  Alcotest.(check (option int)) "rd of SW" None (Insn.rd (Insn.Sw (1, 2, 0)));
+  Alcotest.(check (list int)) "sources of SW" [ 2; 1 ]
+    (Insn.sources (Insn.Sw (1, 2, 0)));
+  Alcotest.(check bool) "load" true (Insn.is_load (Insn.Lw (1, 0, 0)));
+  Alcotest.(check bool) "valid imm range" false
+    (Insn.valid (Insn.I (Insn.ADDI, 1, 1, 5000)));
+  Alcotest.(check bool) "valid shamt range" false
+    (Insn.valid (Insn.I (Insn.SLLI, 1, 1, 32)));
+  Alcotest.(check string) "map_regs" "ADD x11, x12, x13"
+    (Insn.to_string (Insn.map_regs (fun r -> r + 10) (Insn.R (Insn.ADD, 1, 2, 3))))
+
+let test_exec_basic () =
+  let st = Exec.create ~xlen:32 ~mem_words:8 in
+  Exec.run st
+    [
+      Insn.I (Insn.ADDI, 1, 0, 5);
+      Insn.I (Insn.ADDI, 2, 0, 7);
+      Insn.R (Insn.ADD, 3, 1, 2);
+      Insn.R (Insn.MUL, 4, 1, 2);
+      Insn.R (Insn.SUB, 5, 1, 2);
+    ];
+  Alcotest.(check int) "add" 12 (Bv.to_int (Exec.reg st 3));
+  Alcotest.(check int) "mul" 35 (Bv.to_int (Exec.reg st 4));
+  Alcotest.(check int) "sub wraps" (-2)
+    (Bv.to_signed_int (Exec.reg st 5))
+
+let test_exec_x0 () =
+  let st = Exec.create ~xlen:32 ~mem_words:8 in
+  Exec.run st [ Insn.I (Insn.ADDI, 0, 0, 42) ];
+  Alcotest.(check int) "x0 stays zero" 0 (Bv.to_int (Exec.reg st 0))
+
+let test_exec_memory () =
+  let st = Exec.create ~xlen:32 ~mem_words:8 in
+  Exec.run st
+    [
+      Insn.I (Insn.ADDI, 1, 0, 123);
+      Insn.Sw (1, 0, 3);
+      Insn.Lw (2, 0, 3);
+      (* Address wraps modulo the 8-word memory: 11 mod 8 = 3. *)
+      Insn.Lw (3, 0, 11);
+    ];
+  Alcotest.(check int) "load back" 123 (Bv.to_int (Exec.reg st 2));
+  Alcotest.(check int) "wrapped load" 123 (Bv.to_int (Exec.reg st 3))
+
+let test_exec_shifts_narrow () =
+  (* At XLEN=8 only the low 3 bits of the shift amount count. *)
+  let st = Exec.create ~xlen:8 ~mem_words:2 in
+  Exec.run st
+    [
+      Insn.I (Insn.ADDI, 1, 0, 1);
+      Insn.I (Insn.ADDI, 2, 0, 9);
+      (* 9 & 7 = 1 *)
+      Insn.R (Insn.SLL, 3, 1, 2);
+    ];
+  Alcotest.(check int) "sll masked" 2 (Bv.to_int (Exec.reg st 3))
+
+let test_exec_mulh () =
+  let st = Exec.create ~xlen:8 ~mem_words:2 in
+  Exec.run st
+    [
+      Insn.I (Insn.ADDI, 1, 0, -1);
+      (* -1 * -1 = 1: high byte 0 *)
+      Insn.R (Insn.MULH, 2, 1, 1);
+      Insn.I (Insn.ADDI, 3, 0, 100);
+      (* 100*100 = 10000 = 0x2710; high byte signed = 0x27 *)
+      Insn.R (Insn.MULH, 4, 3, 3);
+      Insn.R (Insn.MULHU, 5, 3, 3);
+    ];
+  Alcotest.(check int) "mulh -1 -1" 0 (Bv.to_int (Exec.reg st 2));
+  Alcotest.(check int) "mulh 100 100" 0x27 (Bv.to_int (Exec.reg st 4));
+  Alcotest.(check int) "mulhu 100 100" 0x27 (Bv.to_int (Exec.reg st 5))
+
+let test_exec_div () =
+  (* RISC-V M division conventions. *)
+  let st = Exec.create ~xlen:8 ~mem_words:2 in
+  Exec.run st
+    [
+      Insn.I (Insn.ADDI, 1, 0, -7);
+      Insn.I (Insn.ADDI, 2, 0, 2);
+      Insn.R (Insn.DIV, 3, 1, 2);
+      Insn.R (Insn.REM, 4, 1, 2);
+      Insn.R (Insn.DIVU, 5, 1, 2);
+      (* division by zero *)
+      Insn.R (Insn.DIV, 6, 1, 0);
+      Insn.R (Insn.REM, 7, 1, 0);
+      Insn.R (Insn.DIVU, 8, 1, 0);
+      Insn.R (Insn.REMU, 9, 1, 0);
+      (* signed overflow: MIN / -1 *)
+      Insn.I (Insn.ADDI, 10, 0, -128);
+      Insn.I (Insn.ADDI, 11, 0, -1);
+      Insn.R (Insn.DIV, 12, 10, 11);
+      Insn.R (Insn.REM, 13, 10, 11);
+    ];
+  Alcotest.(check int) "-7/2" (-3) (Bv.to_signed_int (Exec.reg st 3));
+  Alcotest.(check int) "-7%2" (-1) (Bv.to_signed_int (Exec.reg st 4));
+  (* -7 unsigned at 8 bits is 249: 249/2 = 124 *)
+  Alcotest.(check int) "divu" 124 (Bv.to_int (Exec.reg st 5));
+  Alcotest.(check int) "div/0 = -1" (-1) (Bv.to_signed_int (Exec.reg st 6));
+  Alcotest.(check int) "rem/0 = a" (-7) (Bv.to_signed_int (Exec.reg st 7));
+  Alcotest.(check int) "divu/0 = ones" 255 (Bv.to_int (Exec.reg st 8));
+  Alcotest.(check int) "remu/0 = a" 249 (Bv.to_int (Exec.reg st 9));
+  Alcotest.(check int) "MIN/-1 = MIN" (-128) (Bv.to_signed_int (Exec.reg st 12));
+  Alcotest.(check int) "MIN%-1 = 0" 0 (Bv.to_int (Exec.reg st 13))
+
+let test_asm_roundtrip () =
+  let cases =
+    [
+      "ADD x1, x2, x3";
+      "SLTU x4, x5, x6";
+      "ADDI x1, x2, -12";
+      "SRAI x1, x2, 4";
+      "LUI x1, 0x12";
+      "LW x1, 4(x2)";
+      "SW x3, 0(x0)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Asm.parse_insn src with
+      | Ok insn -> (
+          match Asm.parse_insn (Insn.to_string insn) with
+          | Ok insn2 ->
+              Alcotest.(check bool) src true (Insn.equal insn insn2)
+          | Error e -> Alcotest.fail (src ^ ": " ^ e))
+      | Error e -> Alcotest.fail (src ^ ": " ^ e))
+    cases
+
+let test_asm_errors () =
+  let bad = [ "BOGUS x1, x2, x3"; "ADD x1, x2"; "ADDI x1, x2, 99999"; "ADD x1, x2, x99" ] in
+  List.iter
+    (fun src ->
+      match Asm.parse_insn src with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+      | Error _ -> ())
+    bad
+
+let test_asm_program () =
+  let src = "# listing 2\nXORI x26, x15, -1\nADD x27, x26, x16\n\nXORI x14, x27, -1\n" in
+  match Asm.parse_program src with
+  | Ok insns -> Alcotest.(check int) "three insns" 3 (List.length insns)
+  | Error e -> Alcotest.fail e
+
+(* ---------------------------------------------------------------- *)
+(* Properties                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let arb_insn =
+  QCheck.make ~print:Insn.to_string
+    (QCheck.Gen.map
+       (fun seed -> Insn.random (Random.State.make [| seed |]) ~max_reg:32)
+       QCheck.Gen.nat)
+
+let encode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500 arb_insn
+    (fun insn -> Encode.decode (Encode.encode insn) = Some insn)
+
+(* Concrete interpreter vs symbolic semantics for register results. *)
+let symbolic_matches_concrete ~xlen =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "symbolic = concrete (xlen %d)" xlen)
+    ~count:300
+    (QCheck.pair arb_insn (QCheck.pair QCheck.int64 QCheck.int64))
+    (fun (insn, (a64, b64)) ->
+      let a = Bv.of_int64 ~width:xlen a64 and b = Bv.of_int64 ~width:xlen b64 in
+      match Semantics.result ~xlen insn ~rs1:(Term.const a) ~rs2:(Term.const b) with
+      | None -> true
+      | Some term -> (
+          (* Constant folding alone should reduce this to a constant. *)
+          let v = Term.eval (fun _ -> assert false) term in
+          match insn with
+          | Insn.R (op, _, _, _) -> Bv.equal v (Exec.alu_r ~xlen op a b)
+          | Insn.I (op, _, _, imm) -> Bv.equal v (Exec.alu_i ~xlen op a imm)
+          | Insn.Lui (_, imm) ->
+              Bv.equal v (Bv.of_int ~width:xlen (imm lsl 12))
+          | Insn.Lw _ | Insn.Sw _ -> true))
+
+(* exec respects the golden rule: result only depends on sources. *)
+let exec_rd_only =
+  QCheck.Test.make ~name:"exec writes only rd" ~count:300 arb_insn
+    (fun insn ->
+      let st = Exec.create ~xlen:16 ~mem_words:4 in
+      (* Seed registers deterministically. *)
+      for i = 1 to 31 do
+        Exec.set_reg st i (Bv.of_int ~width:16 (i * 17))
+      done;
+      let before = Exec.copy st in
+      Exec.exec st insn;
+      let changed = ref [] in
+      for i = 0 to 31 do
+        if not (Bv.equal (Exec.reg st i) (Exec.reg before i)) then
+          changed := i :: !changed
+      done;
+      match (Insn.rd insn, !changed) with
+      | _, [] -> true (* wrote the same value, or no register write *)
+      | Some rd, [ r ] -> r = rd
+      | None, _ :: _ -> false
+      | Some _, _ :: _ :: _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "known encodings" `Quick test_known_encodings;
+    Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+    Alcotest.test_case "fields" `Quick test_fields;
+    Alcotest.test_case "insn metadata" `Quick test_insn_metadata;
+    Alcotest.test_case "exec basic" `Quick test_exec_basic;
+    Alcotest.test_case "exec x0" `Quick test_exec_x0;
+    Alcotest.test_case "exec memory" `Quick test_exec_memory;
+    Alcotest.test_case "exec narrow shifts" `Quick test_exec_shifts_narrow;
+    Alcotest.test_case "exec mulh" `Quick test_exec_mulh;
+    Alcotest.test_case "exec div family" `Quick test_exec_div;
+    Alcotest.test_case "asm roundtrip" `Quick test_asm_roundtrip;
+    Alcotest.test_case "asm errors" `Quick test_asm_errors;
+    Alcotest.test_case "asm program" `Quick test_asm_program;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        encode_roundtrip;
+        symbolic_matches_concrete ~xlen:32;
+        symbolic_matches_concrete ~xlen:8;
+        exec_rd_only;
+      ]

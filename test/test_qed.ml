@@ -1,0 +1,354 @@
+(* QED layer tests: partitions, program-level template equivalence (the key
+   property: executing an original instruction on the O-side and its
+   expanded equivalent sequence on the E-side from a QED-consistent state
+   leaves the compared pair equal), and concrete simulation of the full
+   QED-top circuit with and without injected bugs. *)
+
+module Bv = Sqed_bv.Bv
+module Insn = Sqed_isa.Insn
+module Exec = Sqed_isa.Exec
+module Config = Sqed_proc.Config
+module Bug = Sqed_proc.Bug
+module Partition = Sqed_qed.Partition
+module Equiv_table = Sqed_qed.Equiv_table
+module Qed_top = Sqed_qed.Qed_top
+module Sim = Sqed_rtl.Sim
+
+(* ---------------------------------------------------------------- *)
+(* Partitions                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_partition_sizes () =
+  let p32 = Partition.make Partition.Edsep Config.rv32 in
+  Alcotest.(check int) "rv32 |O|" 13 p32.Partition.n_orig;
+  Alcotest.(check int) "rv32 |T|" 6 p32.Partition.n_temp;
+  let p16 = Partition.make Partition.Edsep Config.small in
+  Alcotest.(check int) "small |O|" 6 p16.Partition.n_orig;
+  Alcotest.(check int) "small |T|" 4 p16.Partition.n_temp;
+  let p8 = Partition.make Partition.Edsep Config.tiny in
+  Alcotest.(check int) "tiny |O|" 3 p8.Partition.n_orig;
+  Alcotest.(check int) "tiny |T|" 2 p8.Partition.n_temp;
+  let e32 = Partition.make Partition.Eddi Config.rv32 in
+  Alcotest.(check int) "eddi |O|" 16 e32.Partition.n_orig;
+  Alcotest.(check int) "eddi |T|" 0 e32.Partition.n_temp
+
+let test_partition_mapping () =
+  let p = Partition.make Partition.Edsep Config.rv32 in
+  Alcotest.(check int) "map 0" 13 (Partition.map_reg p 0);
+  Alcotest.(check int) "map 12" 25 (Partition.map_reg p 12);
+  Alcotest.(check int) "temp 0" 26 (Partition.temp_reg p 0);
+  Alcotest.(check int) "temp 5" 31 (Partition.temp_reg p 5);
+  Alcotest.(check bool) "in_orig" true (Partition.in_orig p 12);
+  Alcotest.(check bool) "not in_orig" false (Partition.in_orig p 13);
+  Alcotest.(check bool) "in_equiv" true (Partition.in_equiv p 13);
+  Alcotest.(check int) "13 pairs" 13 (List.length (Partition.orig_compare_pairs p))
+
+(* ---------------------------------------------------------------- *)
+(* Template equivalence (program level)                              *)
+(* ---------------------------------------------------------------- *)
+
+(* Random legal original instruction confined to the partition's O set and
+   original memory half. *)
+let random_original cfg p rng =
+  Partition.random_original p ~ext_m:cfg.Config.ext_m
+    ~ext_div:cfg.Config.ext_div rng
+
+(* A QED-consistent random state: E mirrors O, shadow memory mirrors the
+   original half, temporaries arbitrary. *)
+let consistent_state cfg p rng =
+  let st = Exec.create ~xlen:cfg.Config.xlen ~mem_words:cfg.Config.mem_words in
+  for i = 1 to p.Partition.n_orig - 1 do
+    let v = Bv.random rng cfg.Config.xlen in
+    Exec.set_reg st i v;
+    Exec.set_reg st (Partition.map_reg p i) v
+  done;
+  List.iter
+    (fun t -> Exec.set_reg st t (Bv.random rng cfg.Config.xlen))
+    (Partition.temps p);
+  for w = 0 to p.Partition.mem_half - 1 do
+    let v = Bv.random rng cfg.Config.xlen in
+    Exec.store st (Bv.of_int ~width:cfg.Config.xlen w) v;
+    Exec.store st
+      (Bv.of_int ~width:cfg.Config.xlen (w + p.Partition.mem_half))
+      v
+  done;
+  st
+
+let equivalent_after cfg p table st insn =
+  (* Execute the original on one copy, its expansion on another, and
+     compare the O/E views. *)
+  let st_o = Exec.copy st and st_e = Exec.copy st in
+  Exec.exec st_o insn;
+  List.iter (Exec.exec st_e) (Equiv_table.expand table p insn);
+  let ok_rd =
+    match Insn.rd insn with
+    | Some rd when rd <> 0 ->
+        Bv.equal (Exec.reg st_o rd) (Exec.reg st_e (Partition.map_reg p rd))
+    | _ -> true
+  in
+  let ok_mem =
+    match insn with
+    | Insn.Sw (_, _, imm) ->
+        let a = Bv.of_int ~width:cfg.Config.xlen imm in
+        let a' =
+          Bv.of_int ~width:cfg.Config.xlen (imm + p.Partition.mem_half)
+        in
+        Bv.equal (Exec.load st_o a) (Exec.load st_e a')
+    | _ -> true
+  in
+  ok_rd && ok_mem
+
+let table_equivalence_prop cfg scheme =
+  let p = Partition.make scheme cfg in
+  let table =
+    match scheme with
+    | Partition.Eddi -> Equiv_table.duplicate
+    | Partition.Edsep ->
+        Equiv_table.builtin ~xlen:cfg.Config.xlen ~n_temp:p.Partition.n_temp
+  in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s table equivalent (%s)"
+         (match scheme with Partition.Eddi -> "EDDI" | Partition.Edsep -> "EDSEP")
+         (Config.to_string cfg))
+    ~count:400
+    (QCheck.make ~print:string_of_int QCheck.Gen.nat)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let insn = random_original cfg p rng in
+      let st = consistent_state cfg p rng in
+      equivalent_after cfg p table st insn)
+
+(* EDSEP equivalent sequences must confine their writes to E and T. *)
+let edsep_write_discipline cfg =
+  let p = Partition.make Partition.Edsep cfg in
+  let table =
+    Equiv_table.builtin ~xlen:cfg.Config.xlen ~n_temp:p.Partition.n_temp
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "EDSEP write discipline (%s)" (Config.to_string cfg))
+    ~count:400
+    (QCheck.make ~print:string_of_int QCheck.Gen.nat)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let insn = random_original cfg p rng in
+      let seq = Equiv_table.expand table p insn in
+      let e_writes = ref 0 in
+      let ok =
+        List.for_all
+          (fun i ->
+            match Insn.rd i with
+            | None -> true
+            | Some rd ->
+                if Partition.in_equiv p rd then begin
+                  incr e_writes;
+                  true
+                end
+                else List.mem rd (Partition.temps p))
+          seq
+      in
+      (* Exactly one E write iff the original writes a register. *)
+      let expected_e = match Insn.rd insn with Some _ -> 1 | None -> 0 in
+      ok && !e_writes = expected_e)
+
+let test_table_shapes () =
+  let table = Equiv_table.builtin ~xlen:8 ~n_temp:4 in
+  Alcotest.(check int) "SUB is Listing 2 (3 insns)" 3
+    (Equiv_table.seq_len table (Equiv_table.Kr Insn.SUB));
+  Alcotest.(check int) "ADD 2 insns" 2
+    (Equiv_table.seq_len table (Equiv_table.Kr Insn.ADD));
+  Alcotest.(check int) "SLT narrow 3 insns" 3
+    (Equiv_table.seq_len table (Equiv_table.Kr Insn.SLT));
+  Alcotest.(check bool) "max temps within 4" true
+    (Equiv_table.max_temps table <= 4);
+  let wide = Equiv_table.builtin ~xlen:32 ~n_temp:6 in
+  Alcotest.(check int) "SLT wide 8 insns" 8
+    (Equiv_table.seq_len wide (Equiv_table.Kr Insn.SLT));
+  Alcotest.(check bool) "table prints" true
+    (String.length (Equiv_table.to_string table) > 100)
+
+let test_expand_listing2 () =
+  (* The paper's Listing 2 at the rv32 partition. *)
+  let p = Partition.make Partition.Edsep Config.rv32 in
+  let table = Equiv_table.builtin ~xlen:32 ~n_temp:6 in
+  let seq = Equiv_table.expand table p (Insn.R (Insn.SUB, 1, 2, 3)) in
+  Alcotest.(check (list string)) "listing 2"
+    [ "XORI x26, x15, -1"; "ADD x27, x26, x16"; "XORI x14, x27, -1" ]
+    (List.map Insn.to_string seq)
+
+let test_table_text_roundtrip () =
+  List.iter
+    (fun table ->
+      match Equiv_table.of_string (Equiv_table.to_string table) with
+      | Error e -> Alcotest.fail e
+      | Ok table' ->
+          Alcotest.(check bool) "roundtrip equal" true (table = table'))
+    [
+      Equiv_table.builtin ~xlen:8 ~n_temp:4;
+      Equiv_table.builtin ~xlen:32 ~n_temp:6;
+      Equiv_table.duplicate;
+    ]
+
+let test_table_text_errors () =
+  List.iter
+    (fun src ->
+      match Equiv_table.of_string src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ src))
+    [
+      "BOGUS -> [ADD rd', rs1', rs2']";
+      "ADD -> ADD rd', rs1', rs2'";
+      "ADD -> [ADD rd', rs1']";
+      "ADD -> [ADD rd', rs1', r9]";
+      "ADD -> []";
+    ]
+
+let test_table_validate () =
+  let cfg = Config.small in
+  let p = Partition.make Partition.Edsep cfg in
+  let good = Equiv_table.builtin ~xlen:cfg.Config.xlen ~n_temp:p.Partition.n_temp in
+  (match Equiv_table.validate ~cfg ~partition:p good with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* A wrong template must be caught. *)
+  let bad =
+    (Equiv_table.Kr Insn.ADD,
+     [ Equiv_table.TR (Insn.SUB, Equiv_table.Rd, Equiv_table.Rs1, Equiv_table.Rs2) ])
+    :: List.remove_assoc (Equiv_table.Kr Insn.ADD) good
+  in
+  match Equiv_table.validate ~cfg ~partition:p bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad table accepted"
+
+let test_custom_table_in_model () =
+  (* A user-supplied textual table drives the program-level transform. *)
+  let src = "ADD -> [SUB t0, x0, rs2'; SUB rd', rs1', t0]" in
+  match Equiv_table.of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+      let p = Partition.make Partition.Edsep Config.small in
+      let seq = Equiv_table.expand table p (Insn.R (Insn.ADD, 1, 2, 3)) in
+      Alcotest.(check int) "two instructions" 2 (List.length seq)
+
+let test_expand_rejects_outside_o () =
+  let p = Partition.make Partition.Edsep Config.rv32 in
+  let table = Equiv_table.builtin ~xlen:32 ~n_temp:6 in
+  Alcotest.(check bool) "rejects rs outside O" true
+    (try
+       ignore (Equiv_table.expand table p (Insn.R (Insn.ADD, 1, 20, 3)));
+       false
+     with Failure _ -> true)
+
+(* ---------------------------------------------------------------- *)
+(* QED-top circuit: concrete simulation                              *)
+(* ---------------------------------------------------------------- *)
+
+(* Drive a sequence of originals through the model (sel=1: originals have
+   priority; the queue drains in between), then drain and report whether
+   [bad] ever fired and whether the run ended QED-ready. *)
+let drive model origs =
+  let sim = Sim.create model.Qed_top.circuit in
+  let bad_seen = ref false in
+  let ready_consistent = ref false in
+  let observe outs =
+    if not (Bv.is_zero (List.assoc "bad" outs)) then bad_seen := true;
+    if
+      (not (Bv.is_zero (List.assoc "qed_ready" outs)))
+      && not (Bv.is_zero (List.assoc "consistent" outs))
+    then ready_consistent := true
+  in
+  let inject insn =
+    let word = Sqed_isa.Encode.encode insn in
+    let rec go tries =
+      if tries > 40 then failwith "drive: original never accepted";
+      let outs =
+        Sim.cycle sim
+          [ ("orig_instr", word); ("orig_valid", Bv.one 1); ("sel", Bv.one 1) ]
+      in
+      observe outs;
+      let consumed = not (Bv.is_zero (List.assoc "consumed" outs)) in
+      let is_orig = not (Bv.is_zero (List.assoc "is_orig" outs)) in
+      if not (consumed && is_orig) then go (tries + 1)
+    in
+    go 0
+  in
+  List.iter inject origs;
+  for _ = 1 to 40 do
+    let outs =
+      Sim.cycle sim
+        [ ("orig_instr", Bv.zero 32); ("orig_valid", Bv.zero 1); ("sel", Bv.zero 1) ]
+    in
+    observe outs
+  done;
+  (!bad_seen, !ready_consistent)
+
+let addi rd rs1 imm = Insn.I (Insn.ADDI, rd, rs1, imm)
+
+let test_sim_clean_run () =
+  List.iter
+    (fun model ->
+      let bad, ready =
+        drive model
+          [ addi 1 0 5; Insn.R (Insn.ADD, 2, 1, 1); Insn.Sw (2, 0, 1); Insn.Lw (1, 0, 1) ]
+      in
+      Alcotest.(check bool) "no bad" false bad;
+      Alcotest.(check bool) "reaches consistent ready" true ready)
+    [ Qed_top.edsep Config.small; Qed_top.eddi Config.small ]
+
+let test_sim_bug_detected_edsep () =
+  let model = Qed_top.edsep ~bug:Bug.Bug_add Config.small in
+  let bad, _ = drive model [ addi 1 0 5; Insn.R (Insn.ADD, 2, 1, 1) ] in
+  Alcotest.(check bool) "EDSEP catches add bug" true bad
+
+let test_sim_bug_missed_eddi () =
+  (* The single-instruction bug perturbs original and duplicate equally:
+     EDDI stays consistent on the same stimulus. *)
+  let model = Qed_top.eddi ~bug:Bug.Bug_add Config.small in
+  let bad, ready = drive model [ addi 1 0 5; Insn.R (Insn.ADD, 2, 1, 1) ] in
+  Alcotest.(check bool) "EDDI misses add bug" false bad;
+  Alcotest.(check bool) "still reaches ready" true ready
+
+let test_sim_random_clean =
+  (* No false positives: the unmutated model must never assert [bad]. *)
+  QCheck.Test.make ~name:"no false positives (sim, both schemes)" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.nat)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let cfg = Config.small in
+      let scheme, model =
+        if Random.State.bool rng then (Partition.Edsep, Qed_top.edsep cfg)
+        else (Partition.Eddi, Qed_top.eddi cfg)
+      in
+      let p = Partition.make scheme cfg in
+      let n = 1 + Random.State.int rng 4 in
+      let origs = List.init n (fun _ -> random_original cfg p rng) in
+      let bad, ready = drive model origs in
+      (not bad) && ready)
+
+let suite =
+  [
+    Alcotest.test_case "partition sizes" `Quick test_partition_sizes;
+    Alcotest.test_case "partition mapping" `Quick test_partition_mapping;
+    Alcotest.test_case "table shapes" `Quick test_table_shapes;
+    Alcotest.test_case "expand listing 2" `Quick test_expand_listing2;
+    Alcotest.test_case "expand rejects outside O" `Quick
+      test_expand_rejects_outside_o;
+    Alcotest.test_case "table text roundtrip" `Quick test_table_text_roundtrip;
+    Alcotest.test_case "table text errors" `Quick test_table_text_errors;
+    Alcotest.test_case "custom table in model" `Quick
+      test_custom_table_in_model;
+    Alcotest.test_case "table validate" `Quick test_table_validate;
+    Alcotest.test_case "sim clean run" `Quick test_sim_clean_run;
+    Alcotest.test_case "sim edsep detects" `Quick test_sim_bug_detected_edsep;
+    Alcotest.test_case "sim eddi misses" `Quick test_sim_bug_missed_eddi;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        table_equivalence_prop Config.small_m Partition.Edsep;
+        table_equivalence_prop Config.small_m Partition.Eddi;
+        table_equivalence_prop Config.rv32 Partition.Edsep;
+        table_equivalence_prop Config.tiny Partition.Edsep;
+        edsep_write_discipline Config.small;
+        edsep_write_discipline Config.rv32;
+        test_sim_random_clean;
+      ]

@@ -1,0 +1,288 @@
+(* Tests for the RTL netlist DSL: builder checks, concrete simulation,
+   memory behaviour, and a differential property that the symbolic unroller
+   agrees with the simulator on random circuits/inputs. *)
+
+module Bv = Sqed_bv.Bv
+module C = Sqed_rtl.Circuit
+module Node = Sqed_rtl.Node
+module Sim = Sqed_rtl.Sim
+module Unroll = Sqed_rtl.Unroll
+module Term = Sqed_smt.Term
+
+let bv8 = Bv.of_int ~width:8
+
+(* An 8-bit counter with enable. *)
+let counter_circuit () =
+  let b = C.create "counter" in
+  let en = C.input b "en" 1 in
+  let count = C.reg_const b ~name:"count" ~width:8 0 in
+  let next = C.mux b en (C.add b count (C.consti b ~width:8 1)) count in
+  C.connect b count next;
+  C.output b "count" count;
+  C.finalize b
+
+let test_counter () =
+  let sim = Sim.create (counter_circuit ()) in
+  let on = [ ("en", Bv.one 1) ] and off = [ ("en", Bv.zero 1) ] in
+  let out1 = Sim.cycle sim on in
+  Alcotest.(check int) "count pre-edge" 0 (Bv.to_int (List.assoc "count" out1));
+  let out2 = Sim.cycle sim on in
+  Alcotest.(check int) "count 1" 1 (Bv.to_int (List.assoc "count" out2));
+  let out3 = Sim.cycle sim off in
+  Alcotest.(check int) "count 2" 2 (Bv.to_int (List.assoc "count" out3));
+  let out4 = Sim.cycle sim on in
+  Alcotest.(check int) "held" 2 (Bv.to_int (List.assoc "count" out4))
+
+let test_unconnected_register () =
+  let b = C.create "bad" in
+  let _ = C.reg_const b ~name:"r" ~width:4 0 in
+  Alcotest.(check bool) "finalize fails" true
+    (try
+       ignore (C.finalize b);
+       false
+     with Failure _ -> true)
+
+let test_double_connect () =
+  let b = C.create "bad2" in
+  let r = C.reg_const b ~name:"r" ~width:4 0 in
+  C.connect b r r;
+  Alcotest.(check bool) "second connect fails" true
+    (try
+       C.connect b r r;
+       false
+     with Failure _ -> true)
+
+let test_width_check () =
+  let b = C.create "bad3" in
+  let x = C.consti b ~width:4 1 and y = C.consti b ~width:8 1 in
+  Alcotest.(check bool) "add width mismatch" true
+    (try
+       ignore (C.add b x y);
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_names () =
+  let b = C.create "bad4" in
+  let _ = C.input b "x" 4 in
+  Alcotest.(check bool) "duplicate input" true
+    (try
+       ignore (C.input b "x" 4);
+       false
+     with Failure _ -> true)
+
+let test_symbolic_init () =
+  let b = C.create "sym" in
+  let r = C.reg b ~name:"r" ~init:(Node.Symbolic_init "r0") ~width:8 in
+  C.connect b r r;
+  C.output b "r" r;
+  let c = C.finalize b in
+  let sim =
+    Sim.create ~initial:(fun n -> if n = "r0" then Some (bv8 42) else None) c
+  in
+  let out = Sim.cycle sim [] in
+  Alcotest.(check int) "symbolic init honoured" 42
+    (Bv.to_int (List.assoc "r" out))
+
+let memory_circuit () =
+  let b = C.create "mem" in
+  let wr_en = C.input b "wr_en" 1 in
+  let wr_addr = C.input b "wr_addr" 2 in
+  let wr_data = C.input b "wr_data" 8 in
+  let rd_addr = C.input b "rd_addr" 2 in
+  let mem =
+    C.memory b ~name:"m" ~words:4 ~word_width:8
+      ~init:(Node.Const_init (Bv.zero 8)) ~wr_en ~wr_addr ~wr_data
+  in
+  C.output b "rd_data" (mem.C.read rd_addr);
+  C.finalize b
+
+let test_memory () =
+  let sim = Sim.create (memory_circuit ()) in
+  let wr addr data rd =
+    [
+      ("wr_en", Bv.one 1);
+      ("wr_addr", Bv.of_int ~width:2 addr);
+      ("wr_data", bv8 data);
+      ("rd_addr", Bv.of_int ~width:2 rd);
+    ]
+  in
+  let rd addr =
+    [
+      ("wr_en", Bv.zero 1);
+      ("wr_addr", Bv.of_int ~width:2 0);
+      ("wr_data", bv8 0);
+      ("rd_addr", Bv.of_int ~width:2 addr);
+    ]
+  in
+  ignore (Sim.cycle sim (wr 1 0xAA 0));
+  ignore (Sim.cycle sim (wr 3 0x55 0));
+  let o = Sim.cycle sim (rd 1) in
+  Alcotest.(check int) "word 1" 0xAA (Bv.to_int (List.assoc "rd_data" o));
+  let o = Sim.cycle sim (rd 3) in
+  Alcotest.(check int) "word 3" 0x55 (Bv.to_int (List.assoc "rd_data" o));
+  let o = Sim.cycle sim (rd 0) in
+  Alcotest.(check int) "word 0 untouched" 0 (Bv.to_int (List.assoc "rd_data" o))
+
+let test_memory_read_during_write () =
+  (* Asynchronous read returns the pre-edge value during the write cycle. *)
+  let sim = Sim.create (memory_circuit ()) in
+  let o =
+    Sim.cycle sim
+      [
+        ("wr_en", Bv.one 1);
+        ("wr_addr", Bv.of_int ~width:2 2);
+        ("wr_data", bv8 9);
+        ("rd_addr", Bv.of_int ~width:2 2);
+      ]
+  in
+  Alcotest.(check int) "old value during write" 0
+    (Bv.to_int (List.assoc "rd_data" o))
+
+let test_stats () =
+  let c = counter_circuit () in
+  Alcotest.(check bool) "stats string" true (String.length (C.stats c) > 0);
+  Alcotest.(check int) "one register" 1 (List.length (C.registers c))
+
+(* -- unroller ------------------------------------------------------- *)
+
+let test_unroll_counter () =
+  let c = counter_circuit () in
+  let u = Unroll.create c in
+  Unroll.extend_to u 3;
+  Alcotest.(check int) "depth" 3 (Unroll.depth u);
+  (* With en=1 every step, count@2 (entering step 2) must equal 2. *)
+  let s = Sqed_smt.Solver.create () in
+  for t = 0 to 2 do
+    Sqed_smt.Solver.assert_ s
+      (Term.eq (Unroll.input u ~step:t "en") (Term.of_int ~width:1 1))
+  done;
+  let count2 = Unroll.output u ~step:2 "count" in
+  Sqed_smt.Solver.assert_ s (Term.eq count2 (Term.of_int ~width:8 2));
+  Alcotest.(check bool) "count@2 = 2 sat" true
+    (Sqed_smt.Solver.check s = Sqed_smt.Solver.Sat)
+
+let test_unroll_counter_unsat () =
+  let c = counter_circuit () in
+  let u = Unroll.create c in
+  Unroll.extend_to u 3;
+  let s = Sqed_smt.Solver.create () in
+  for t = 0 to 2 do
+    Sqed_smt.Solver.assert_ s
+      (Term.eq (Unroll.input u ~step:t "en") (Term.of_int ~width:1 1))
+  done;
+  (* count@2 cannot be 5 after only two increments. *)
+  Sqed_smt.Solver.assert_ s
+    (Term.eq (Unroll.output u ~step:2 "count") (Term.of_int ~width:8 5));
+  Alcotest.(check bool) "count@2 = 5 unsat" true
+    (Sqed_smt.Solver.check s = Sqed_smt.Solver.Unsat)
+
+let test_unroll_init_vars () =
+  let b = C.create "symu" in
+  let r = C.reg b ~name:"r" ~init:(Node.Symbolic_init "r0") ~width:8 in
+  C.connect b r (C.add b r (C.consti b ~width:8 1)) ;
+  C.output b "r" r;
+  let c = C.finalize b in
+  let u = Unroll.create c in
+  Unroll.extend_to u 2;
+  Alcotest.(check (list (pair string int))) "init vars" [ ("r0", 8) ]
+    (Unroll.init_vars u);
+  (* r@1 = r0 + 1 must be valid. *)
+  let r1 = Unroll.output u ~step:1 "r" in
+  let expected = Term.add (Term.var "r0" 8) (Term.of_int ~width:8 1) in
+  let v, _ = Sqed_smt.Solver.check_valid (Term.eq r1 expected) in
+  Alcotest.(check bool) "r@1 = r0+1" true (v = Sqed_smt.Solver.Unsat)
+
+(* Differential property: random dataflow circuit, random inputs; the
+   unroller's step-t output term evaluated at the trace inputs equals the
+   simulator's observed output. *)
+let random_circuit rng =
+  let b = C.create "rand" in
+  let i0 = C.input b "i0" 8 and i1 = C.input b "i1" 8 in
+  let r0 = C.reg_const b ~name:"r0" ~width:8 3 in
+  let r1 = C.reg_const b ~name:"r1" ~width:8 7 in
+  let pool = ref [ i0; i1; r0; r1 ] in
+  let pick () =
+    List.nth !pool (Random.State.int rng (List.length !pool))
+  in
+  for _ = 1 to 12 do
+    let x = pick () and y = pick () in
+    let s =
+      match Random.State.int rng 10 with
+      | 0 -> C.add b x y
+      | 1 -> C.sub b x y
+      | 2 -> C.and_ b x y
+      | 3 -> C.or_ b x y
+      | 4 -> C.xor b x y
+      | 5 -> C.mux b (C.bit b x 0) y x
+      | 6 -> C.shl b x (C.consti b ~width:8 (Random.State.int rng 8))
+      | 7 -> C.udiv b x y
+      | 8 -> C.urem b x y
+      | _ -> C.mul b x y
+    in
+    pool := s :: !pool
+  done;
+  C.connect b r0 (pick ());
+  C.connect b r1 (pick ());
+  C.output b "o0" (pick ());
+  C.output b "o1" (pick ());
+  C.finalize b
+
+let unroll_vs_sim_once seed =
+  let rng = Random.State.make [| seed |] in
+  let c = random_circuit rng in
+  let steps = 4 in
+  let inputs =
+    List.init steps (fun _ ->
+        [
+          ("i0", Bv.random rng 8);
+          ("i1", Bv.random rng 8);
+        ])
+  in
+  let sim = Sim.create c in
+  let sim_outs = Sim.run sim inputs in
+  let u = Unroll.create c in
+  Unroll.extend_to u steps;
+  (* Parse "<input>@<step>" variable names back into trace positions. *)
+  let lookup name =
+    match String.index_opt name '@' with
+    | Some k ->
+        let base = String.sub name 0 k in
+        let step =
+          int_of_string (String.sub name (k + 1) (String.length name - k - 1))
+        in
+        List.assoc base (List.nth inputs step)
+    | None -> failwith ("unexpected var " ^ name)
+  in
+  List.for_all
+    (fun t ->
+      List.for_all
+        (fun out ->
+          let term = Unroll.output u ~step:t out in
+          let symbolic = Term.eval lookup term in
+          let concrete = List.assoc out (List.nth sim_outs t) in
+          Bv.equal symbolic concrete)
+        [ "o0"; "o1" ])
+    (List.init steps Fun.id)
+
+let unroll_vs_sim_prop =
+  QCheck.Test.make ~name:"unroller agrees with simulator" ~count:100
+    (QCheck.make ~print:string_of_int QCheck.Gen.nat)
+    unroll_vs_sim_once
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "unconnected register" `Quick test_unconnected_register;
+    Alcotest.test_case "double connect" `Quick test_double_connect;
+    Alcotest.test_case "width check" `Quick test_width_check;
+    Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+    Alcotest.test_case "symbolic init" `Quick test_symbolic_init;
+    Alcotest.test_case "memory" `Quick test_memory;
+    Alcotest.test_case "memory read during write" `Quick
+      test_memory_read_during_write;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "unroll counter sat" `Quick test_unroll_counter;
+    Alcotest.test_case "unroll counter unsat" `Quick test_unroll_counter_unsat;
+    Alcotest.test_case "unroll init vars" `Quick test_unroll_init_vars;
+  ]
+  @ [ QCheck_alcotest.to_alcotest ~long:false unroll_vs_sim_prop ]

@@ -1,0 +1,292 @@
+(* Unit and property tests for the CDCL SAT solver.  Properties compare the
+   solver's verdict against brute-force enumeration on small random CNFs. *)
+
+module Sat = Sqed_sat.Sat
+
+let result_t = Alcotest.testable
+    (Fmt.of_to_string (function
+      | Sat.Sat -> "SAT"
+      | Sat.Unsat -> "UNSAT"
+      | Sat.Unknown -> "UNKNOWN"))
+    ( = )
+
+let mk_vars s n = Array.init n (fun _ -> Sat.new_var s)
+
+let test_trivial_sat () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos v ];
+  Alcotest.check result_t "unit clause" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "model" true (Sat.value s v)
+
+let test_trivial_unsat () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos v ];
+  Sat.add_clause s [ Sat.neg_of_var v ];
+  Alcotest.check result_t "x and not x" Sat.Unsat (Sat.solve s)
+
+let test_empty_clause () =
+  let s = Sat.create () in
+  let _ = Sat.new_var s in
+  Sat.add_clause s [];
+  Alcotest.check result_t "empty clause" Sat.Unsat (Sat.solve s)
+
+let test_no_clauses () =
+  let s = Sat.create () in
+  let _ = mk_vars s 3 in
+  Alcotest.check result_t "no clauses" Sat.Sat (Sat.solve s)
+
+let test_implication_chain () =
+  (* x0 -> x1 -> ... -> x19, x0 asserted, ~x19 asserted: UNSAT. *)
+  let s = Sat.create () in
+  let v = mk_vars s 20 in
+  for i = 0 to 18 do
+    Sat.add_clause s [ Sat.neg_of_var v.(i); Sat.pos v.(i + 1) ]
+  done;
+  Sat.add_clause s [ Sat.pos v.(0) ];
+  Sat.add_clause s [ Sat.neg_of_var v.(19) ];
+  Alcotest.check result_t "chain" Sat.Unsat (Sat.solve s)
+
+let test_chain_sat_model () =
+  let s = Sat.create () in
+  let v = mk_vars s 20 in
+  for i = 0 to 18 do
+    Sat.add_clause s [ Sat.neg_of_var v.(i); Sat.pos v.(i + 1) ]
+  done;
+  Sat.add_clause s [ Sat.pos v.(0) ];
+  Alcotest.check result_t "chain sat" Sat.Sat (Sat.solve s);
+  for i = 0 to 19 do
+    Alcotest.(check bool) (Printf.sprintf "x%d true" i) true (Sat.value s v.(i))
+  done
+
+let test_xor_chain () =
+  (* Parity constraints force a unique solution; check solver agrees. *)
+  let s = Sat.create () in
+  let v = mk_vars s 10 in
+  let xor_true a b =
+    (* a xor b = 1 *)
+    Sat.add_clause s [ Sat.pos a; Sat.pos b ];
+    Sat.add_clause s [ Sat.neg_of_var a; Sat.neg_of_var b ]
+  in
+  for i = 0 to 8 do
+    xor_true v.(i) v.(i + 1)
+  done;
+  Sat.add_clause s [ Sat.pos v.(0) ];
+  Alcotest.check result_t "xor chain" Sat.Sat (Sat.solve s);
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      (Printf.sprintf "alternating %d" i)
+      (i mod 2 = 0) (Sat.value s v.(i))
+  done
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small UNSAT instance. *)
+  let s = Sat.create () in
+  let p = Array.init 3 (fun _ -> mk_vars s 2) in
+  (* Each pigeon in some hole. *)
+  Array.iter (fun row -> Sat.add_clause s [ Sat.pos row.(0); Sat.pos row.(1) ]) p;
+  (* No two pigeons share a hole. *)
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Sat.add_clause s [ Sat.neg_of_var p.(i).(h); Sat.neg_of_var p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.check result_t "php(3,2)" Sat.Unsat (Sat.solve s)
+
+let test_pigeonhole_6_5 () =
+  let s = Sat.create () in
+  let n = 6 in
+  let p = Array.init n (fun _ -> mk_vars s (n - 1)) in
+  Array.iter
+    (fun row -> Sat.add_clause s (Array.to_list (Array.map Sat.pos row)))
+    p;
+  for h = 0 to n - 2 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Sat.add_clause s [ Sat.neg_of_var p.(i).(h); Sat.neg_of_var p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.check result_t "php(6,5)" Sat.Unsat (Sat.solve s)
+
+let test_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ Sat.neg_of_var a; Sat.pos b ];
+  Alcotest.check result_t "assume a" Sat.Sat
+    (Sat.solve ~assumptions:[ Sat.pos a ] s);
+  Alcotest.(check bool) "b forced" true (Sat.value s b);
+  Alcotest.check result_t "assume a, ~b" Sat.Unsat
+    (Sat.solve ~assumptions:[ Sat.pos a; Sat.neg_of_var b ] s);
+  (* Solver must remain usable after an assumption failure. *)
+  Alcotest.check result_t "no assumptions still sat" Sat.Sat (Sat.solve s)
+
+let test_incremental () =
+  let s = Sat.create () in
+  let v = mk_vars s 4 in
+  Sat.add_clause s [ Sat.pos v.(0); Sat.pos v.(1) ];
+  Alcotest.check result_t "first" Sat.Sat (Sat.solve s);
+  Sat.add_clause s [ Sat.neg_of_var v.(0) ];
+  Sat.add_clause s [ Sat.neg_of_var v.(1) ];
+  Alcotest.check result_t "after strengthening" Sat.Unsat (Sat.solve s)
+
+let test_duplicate_and_tautology () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  (* Tautological clause must be ignored, duplicated literals collapsed. *)
+  Sat.add_clause s [ Sat.pos a; Sat.neg_of_var a ];
+  Sat.add_clause s [ Sat.pos a; Sat.pos a ];
+  Alcotest.check result_t "sat" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "a true" true (Sat.value s a)
+
+let test_stats () =
+  let s = Sat.create () in
+  let v = mk_vars s 8 in
+  for i = 0 to 6 do
+    Sat.add_clause s [ Sat.neg_of_var v.(i); Sat.pos v.(i + 1) ]
+  done;
+  Sat.add_clause s [ Sat.pos v.(0) ];
+  ignore (Sat.solve s);
+  let st = Sat.stats s in
+  Alcotest.(check bool) "propagated" true (st.Sat.propagations > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Property: agreement with brute force on random 3-CNF              *)
+(* ---------------------------------------------------------------- *)
+
+type cnf = int list list (* positive ints 1..n, negative for negated *)
+
+let gen_cnf ~nvars ~nclauses : cnf QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_lit =
+    map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound (nvars - 1)) bool
+  in
+  list_size (return nclauses) (list_size (int_range 1 3) gen_lit)
+
+let brute_force ~nvars (cnf : cnf) =
+  let rec go assignment i =
+    if i = nvars then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let v = abs l - 1 in
+              if l > 0 then assignment.(v) else not assignment.(v))
+            clause)
+        cnf
+    else begin
+      assignment.(i) <- false;
+      go assignment (i + 1)
+      ||
+      (assignment.(i) <- true;
+       go assignment (i + 1))
+    end
+  in
+  go (Array.make nvars false) 0
+
+let solver_verdict ~nvars (cnf : cnf) =
+  let s = Sat.create () in
+  let v = mk_vars s nvars in
+  List.iter
+    (fun clause ->
+      Sat.add_clause s
+        (List.map
+           (fun l ->
+             let var = v.(abs l - 1) in
+             if l > 0 then Sat.pos var else Sat.neg_of_var var)
+           clause))
+    cnf;
+  Sat.solve s = Sat.Sat
+
+let model_satisfies ~nvars (cnf : cnf) =
+  let s = Sat.create () in
+  let v = mk_vars s nvars in
+  List.iter
+    (fun clause ->
+      Sat.add_clause s
+        (List.map
+           (fun l ->
+             let var = v.(abs l - 1) in
+             if l > 0 then Sat.pos var else Sat.neg_of_var var)
+           clause))
+    cnf;
+  match Sat.solve s with
+  | Sat.Unsat | Sat.Unknown -> true (* nothing to check *)
+  | Sat.Sat ->
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let b = Sat.value s v.(abs l - 1) in
+              if l > 0 then b else not b)
+            clause)
+        cnf
+
+let cnf_print cnf =
+  String.concat " & "
+    (List.map
+       (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+       cnf)
+
+let dimacs_roundtrip ~nvars (cnf : cnf) =
+  (* Loading the CNF into a solver and re-exporting it must preserve
+     satisfiability (clauses may be simplified or dropped as tautologies). *)
+  let module D = Sqed_sat.Dimacs in
+  let s = Sat.create () in
+  let v = mk_vars s nvars in
+  List.iter
+    (fun clause ->
+      Sat.add_clause s
+        (List.map
+           (fun l ->
+             let var = v.(abs l - 1) in
+             if l > 0 then Sat.pos var else Sat.neg_of_var var)
+           clause))
+    cnf;
+  match D.parse (Sat.to_dimacs s) with
+  | Error _ -> false
+  | Ok reparsed ->
+      let direct = Sat.solve s = Sat.Sat in
+      (* [s] now carries a model or refutation; a fresh solve of the
+         re-parsed instance must agree whenever no unit clauses were
+         absorbed at load time (units are applied eagerly and don't appear
+         in the export, so only equi-satisfiability can be required). *)
+      let reparsed_sat = fst (D.solve reparsed) in
+      (not direct) || reparsed_sat <> Sat.Unsat
+
+let props =
+  let nvars = 8 in
+  let arb n = QCheck.make ~print:cnf_print (gen_cnf ~nvars ~nclauses:n) in
+  [
+    QCheck.Test.make ~name:"agrees with brute force (sparse)" ~count:200
+      (arb 12)
+      (fun cnf -> solver_verdict ~nvars cnf = brute_force ~nvars cnf);
+    QCheck.Test.make ~name:"agrees with brute force (dense)" ~count:200
+      (arb 40)
+      (fun cnf -> solver_verdict ~nvars cnf = brute_force ~nvars cnf);
+    QCheck.Test.make ~name:"models satisfy the formula" ~count:200 (arb 25)
+      (fun cnf -> model_satisfies ~nvars cnf);
+    QCheck.Test.make ~name:"dimacs export equisatisfiable" ~count:150 (arb 20)
+      (fun cnf -> dimacs_roundtrip ~nvars cnf);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "no clauses" `Quick test_no_clauses;
+    Alcotest.test_case "implication chain unsat" `Quick test_implication_chain;
+    Alcotest.test_case "implication chain model" `Quick test_chain_sat_model;
+    Alcotest.test_case "xor chain" `Quick test_xor_chain;
+    Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+    Alcotest.test_case "pigeonhole 6/5" `Quick test_pigeonhole_6_5;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental" `Quick test_incremental;
+    Alcotest.test_case "tautology handling" `Quick test_duplicate_and_tautology;
+    Alcotest.test_case "stats" `Quick test_stats;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
