@@ -4,22 +4,81 @@
 
      dune exec bench/main.exe                 -- everything (E1-E4 + micro)
      dune exec bench/main.exe -- fig3         -- one experiment
-     dune exec bench/main.exe -- table1 --fast
+     dune exec bench/main.exe -- table1 --fast --jobs 4
 
    Wall-clock seconds are reported for the heavyweight experiments (each
    cell is one solver campaign, not a repeatable microbenchmark); micro
-   uses Bechamel's OLS estimator. *)
+   uses Bechamel's OLS estimator.
+
+   The synthesis campaign (fig3) and the per-bug BMC campaign (table1)
+   fan their independent cells out over a Sqed_par.Pool of --jobs worker
+   domains (default: the SEPE_JOBS environment knob, then the machine's
+   core count).  Cells are fully independent (each owns its solvers and
+   its domain-local term universe), so results are identical for every
+   jobs value; only the wall clock changes.
+
+   A machine-readable summary of every experiment run is written to
+   BENCH_sepe.json (--json PATH overrides the location). *)
 
 module Config = Sqed_proc.Config
 module Bug = Sqed_proc.Bug
 module V = Sepe_sqed.Verifier
 module Synth = Sqed_synth
 module Trace = Sqed_bmc.Trace
+module Pool = Sqed_par.Pool
 
 let fast = ref false
+let jobs = ref 0 (* 0 = Pool.default_jobs () *)
+let json_path = ref "BENCH_sepe.json"
 let line = String.make 72 '-'
 
 let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+let jobs_used () = if !jobs > 0 then !jobs else Pool.default_jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: one record per experiment run             *)
+(* ------------------------------------------------------------------ *)
+
+type bench_record = {
+  br_name : string;
+  br_wall : float;  (** wall-clock seconds for the whole experiment *)
+  br_clauses : int;  (** problem clauses across all solver instances *)
+  br_conflicts : int;  (** SAT conflicts across all solver instances *)
+}
+
+let records : bench_record list ref = ref []
+
+let write_json () =
+  let oc = open_out !json_path in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"fast\": %b,\n  \"experiments\": [\n"
+    (jobs_used ()) !fast;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"wall_s\": %.3f, \"clauses\": %d, \"conflicts\": \
+         %d}%s\n"
+        r.br_name r.br_wall r.br_clauses r.br_conflicts
+        (if i = List.length !records - 1 then "" else ","))
+    (List.rev !records);
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" !json_path
+
+(* Run one experiment; [f] returns the (clauses, conflicts) totals it can
+   attribute (synthesis-only experiments report zeros: their SAT work
+   happens inside per-candidate solver instances that are discarded). *)
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let clauses, conflicts = f () in
+  records :=
+    {
+      br_name = name;
+      br_wall = Unix.gettimeofday () -. t0;
+      br_clauses = clauses;
+      br_conflicts = conflicts;
+    }
+    :: !records
 
 (* ------------------------------------------------------------------ *)
 (* E1 / Fig. 3: synthesis time, HPF-CEGIS vs iterative CEGIS           *)
@@ -53,34 +112,68 @@ let fig3 () =
     k budget (List.length seeds);
   Printf.printf "%-8s %12s %12s %10s %14s\n" "case" "HPF (s)" "iter (s)"
     "HPF/iter" "HPF multisets";
+  (* One pool task per (case, engine, seed) cell.  Cells are seeded and
+     independent, so the numbers are identical for any jobs value; rows
+     are aggregated and printed in case order afterwards. *)
+  let tasks =
+    List.concat_map
+      (fun case ->
+        List.concat_map
+          (fun seed -> [ (case, `Hpf, seed); (case, `Iter, seed) ])
+          seeds)
+      cases
+  in
+  let run (case, engine, seed) =
+    let spec = Synth.Library_.spec case in
+    let options = mk_options seed in
+    match engine with
+    | `Hpf ->
+        let r =
+          Synth.Hpf.synthesize ~options ~spec ~library:Synth.Library_.default
+            ()
+        in
+        ( case,
+          engine,
+          seed,
+          r.Synth.Engine.elapsed,
+          r.Synth.Engine.stats.Synth.Cegis.multisets_tried,
+          r.Synth.Engine.multisets_total )
+    | `Iter ->
+        let r =
+          Synth.Iterative.synthesize ~options ~spec
+            ~library:Synth.Library_.default
+        in
+        (case, engine, seed, r.Synth.Engine.elapsed, 0, 0)
+  in
+  let cells = Pool.with_pool ~jobs:(jobs_used ()) (fun p -> Pool.map p run tasks) in
   let rows = ref [] in
   List.iter
     (fun case ->
-      let spec = Synth.Library_.spec case in
-      let mean f =
-        List.fold_left (fun acc seed -> acc +. f (mk_options seed)) 0.0 seeds
-        /. Float.of_int (List.length seeds)
+      let mean engine =
+        let ts =
+          List.filter_map
+            (fun (c, e, _, t, _, _) ->
+              if c = case && e = engine then Some t else None)
+            cells
+        in
+        List.fold_left ( +. ) 0.0 ts /. Float.of_int (List.length ts)
       in
-      let last_tried = ref 0 and last_total = ref 0 in
-      let th =
-        mean (fun options ->
-            let r =
-              Synth.Hpf.synthesize ~options ~spec
-                ~library:Synth.Library_.default ()
-            in
-            last_tried := r.Synth.Engine.stats.Synth.Cegis.multisets_tried;
-            last_total := r.Synth.Engine.multisets_total;
-            r.Synth.Engine.elapsed)
+      (* Mirror the sequential report: the multiset counters of the last
+         seed's HPF run. *)
+      let tried, total_ms =
+        let last_seed = List.nth seeds (List.length seeds - 1) in
+        match
+          List.find_opt
+            (fun (c, e, s, _, _, _) -> c = case && e = `Hpf && s = last_seed)
+            cells
+        with
+        | Some (_, _, _, _, tried, total) -> (tried, total)
+        | None -> (0, 0)
       in
-      let ti =
-        mean (fun options ->
-            (Synth.Iterative.synthesize ~options ~spec
-               ~library:Synth.Library_.default)
-              .Synth.Engine.elapsed)
-      in
+      let th = mean `Hpf and ti = mean `Iter in
       rows := (case, th, ti) :: !rows;
       Printf.printf "%-8s %12.2f %12.2f %10.2f %9d/%d\n%!" case th ti
-        (th /. ti) !last_tried !last_total)
+        (th /. ti) tried total_ms)
     cases;
   let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 !rows in
   let th = total (fun (_, a, _) -> a) and ti = total (fun (_, _, b) -> b) in
@@ -88,7 +181,8 @@ let fig3 () =
     "\noverall: HPF %.1fs vs iterative %.1fs -> %.0f%% time reduction \
      (paper: ~50%% average)\n"
     th ti
-    (100.0 *. (1.0 -. (th /. ti)))
+    (100.0 *. (1.0 -. (th /. ti)));
+  (0, 0)
 
 (* ------------------------------------------------------------------ *)
 (* E2 / Table 1: injected single-instruction bugs                      *)
@@ -133,8 +227,10 @@ let table1 () =
   Printf.printf "%-6s | %-42s | %-16s | %s\n" "Type" "Function" "SEPE-SQED"
     "SQED";
   Printf.printf "%s\n" line;
-  List.iter
-    (fun bug ->
+  (* One pool task per injected bug; each task runs the full SEPE-SQED
+     cell then its SQED control sequentially (the SQED budget depends on
+     the SEPE trace).  Rows print in table order once all bugs finish. *)
+  let run_bug bug =
       let cfg = bug_config bug base in
       let min_depth = sepe_min_depth cfg bug in
       (* Short equivalent sequences: incremental sweep from just below the
@@ -189,11 +285,31 @@ let table1 () =
               Printf.sprintf "-  (budget at d=%d)" k
           | Sqed_bmc.Engine.Counterexample _ -> assert false
       in
-      Printf.printf "%-6s | %-42s | %-16s | %s\n%!"
-        (match Bug.table1_row bug with Some r -> r | None -> "?")
-        (Bug.describe bug) sepe_cell sqed_cell)
-    (if !fast then [ Bug.Bug_add; Bug.Bug_xor; Bug.Bug_sw ]
-     else Bug.all_single)
+      let row =
+        Printf.sprintf "%-6s | %-42s | %-16s | %s"
+          (match Bug.table1_row bug with Some r -> r | None -> "?")
+          (Bug.describe bug) sepe_cell sqed_cell
+      in
+      let clauses =
+        sepe.V.stats.Sqed_bmc.Engine.clauses
+        + sqed.V.stats.Sqed_bmc.Engine.clauses
+      and conflicts =
+        sepe.V.stats.Sqed_bmc.Engine.sat_conflicts
+        + sqed.V.stats.Sqed_bmc.Engine.sat_conflicts
+      in
+      (row, clauses, conflicts)
+  in
+  let bugs =
+    if !fast then [ Bug.Bug_add; Bug.Bug_xor; Bug.Bug_sw ]
+    else Bug.all_single
+  in
+  let rows =
+    Pool.with_pool ~jobs:(jobs_used ()) (fun p -> Pool.map p run_bug bugs)
+  in
+  List.iter (fun (row, _, _) -> Printf.printf "%s\n" row) rows;
+  List.fold_left
+    (fun (c, k) (_, clauses, conflicts) -> (c + clauses, k + conflicts))
+    (0, 0) rows
 
 (* ------------------------------------------------------------------ *)
 (* E3 / Fig. 4: multiple-instruction bugs                              *)
@@ -226,8 +342,8 @@ let fig4 () =
     if !fast then [ Bug.Bug_fwd_mem_rs1; Bug.Bug_load_use_stall ]
     else Bug.all_multi
   in
-  List.iter
-    (fun bug ->
+  List.fold_left
+    (fun (cl, co) bug ->
       let cfg = bug_config bug base in
       let sqed = V.run ~bug ~method_:V.Sqed ~bound ~time_budget:budget cfg in
       let sepe =
@@ -241,8 +357,14 @@ let fig4 () =
               (Float.of_int l1 /. Float.of_int l2)
         | _ -> ""
       in
-      Printf.printf "%-18s %14s %14s %s\n%!" (Bug.name bug) c1 c2 ratios)
-    bugs
+      Printf.printf "%-18s %14s %14s %s\n%!" (Bug.name bug) c1 c2 ratios;
+      ( cl
+        + sqed.V.stats.Sqed_bmc.Engine.clauses
+        + sepe.V.stats.Sqed_bmc.Engine.clauses,
+        co
+        + sqed.V.stats.Sqed_bmc.Engine.sat_conflicts
+        + sepe.V.stats.Sqed_bmc.Engine.sat_conflicts ))
+    (0, 0) bugs
 
 (* ------------------------------------------------------------------ *)
 (* E4: classical CEGIS fails within budget                             *)
@@ -278,7 +400,8 @@ let classical () =
         | Synth.Brahma.Budget_exhausted -> "budget exhausted"
         | Synth.Brahma.No_program -> "no program")
         elapsed stats.Synth.Cegis.cegis_iterations)
-    [ "SUB"; "XOR" ]
+    [ "SUB"; "XOR" ];
+  (0, 0)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: which HPF mechanism buys what                             *)
@@ -323,7 +446,8 @@ let ablation () =
           .Synth.Engine.elapsed
       in
       Printf.printf "%-8s %14.2f %14.2f %14.2f\n%!" case t1 t0 tn)
-    cases
+    cases;
+  (0, 0)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-core: the same QED layer on a different microarchitecture     *)
@@ -335,8 +459,8 @@ let crosscore () =
      verifying a 3-stage core next to the 5-stage one (ADD mutation)";
   let cfg = Config.tiny in
   Printf.printf "%-22s %-24s %s\n" "core" "SEPE-SQED" "SQED";
-  List.iter
-    (fun (label, core) ->
+  List.fold_left
+    (fun (cl, co) (label, core) ->
       let sepe =
         V.run ~core ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
           ~time_budget:600.0 cfg
@@ -347,8 +471,14 @@ let crosscore () =
       in
       Printf.printf "%-22s %-24s %s\n%!" label
         (V.outcome_to_string sepe)
-        (if V.detected sqed then "DETECTED?!" else "-")
-      )
+        (if V.detected sqed then "DETECTED?!" else "-");
+      ( cl
+        + sepe.V.stats.Sqed_bmc.Engine.clauses
+        + sqed.V.stats.Sqed_bmc.Engine.clauses,
+        co
+        + sepe.V.stats.Sqed_bmc.Engine.sat_conflicts
+        + sqed.V.stats.Sqed_bmc.Engine.sat_conflicts ))
+    (0, 0)
     [
       ("5-stage pipeline", Sqed_qed.Qed_top.Five_stage);
       ("3-stage pipeline", Sqed_qed.Qed_top.Three_stage);
@@ -373,8 +503,8 @@ let scaling () =
   in
   Printf.printf "%-26s %-12s %14s %10s\n" "config" "state bits"
     "detect add (s)" "depth";
-  List.iter
-    (fun (label, cfg) ->
+  List.fold_left
+    (fun (cl, co) (label, cfg) ->
       let model = Sqed_qed.Qed_top.edsep ~bug:Bug.Bug_add cfg in
       let stats_str =
         let c = model.Sqed_qed.Qed_top.circuit in
@@ -394,8 +524,10 @@ let scaling () =
               t.Trace.length
         | None -> Printf.sprintf "%14s %10s" "-" "-"
       in
-      Printf.printf "%-26s %-12d %s\n%!" label stats_str cell)
-    cases
+      Printf.printf "%-26s %-12d %s\n%!" label stats_str cell;
+      ( cl + r.V.stats.Sqed_bmc.Engine.clauses,
+        co + r.V.stats.Sqed_bmc.Engine.sat_conflicts ))
+    (0, 0) cases
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -490,22 +622,34 @@ let micro () =
               Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) ns
           | _ -> Printf.printf "  %-32s (no estimate)\n%!" (Test.Elt.name t))
         (Test.elements test))
-    tests
+    tests;
+  (0, 0)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--fast" then begin
-          fast := true;
-          false
-        end
-        else true)
-      args
+  (* Flags: --fast, --jobs N, --json PATH; everything else names an
+     experiment. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--fast" :: rest ->
+        fast := true;
+        parse acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            jobs := k;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 1)
+    | "--json" :: path :: rest ->
+        json_path := path;
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let all =
     [
       ("fig3", fig3);
@@ -518,15 +662,18 @@ let () =
       ("micro", micro);
     ]
   in
-  match args with
-  | [] -> List.iter (fun (_, f) -> f ()) all
+  Printf.printf "worker domains: %d (SEPE_JOBS or --jobs N to change)\n%!"
+    (jobs_used ());
+  (match args with
+  | [] -> List.iter (fun (name, f) -> timed name f) all
   | names ->
       List.iter
         (fun n ->
           match List.assoc_opt n all with
-          | Some f -> f ()
+          | Some f -> timed n f
           | None ->
               Printf.eprintf
                 "unknown experiment %S (fig3|table1|fig4|classical|micro)\n" n;
               exit 1)
-        names
+        names);
+  write_json ()

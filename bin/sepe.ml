@@ -8,10 +8,47 @@ module Bug = Sqed_proc.Bug
 module V = Sepe_sqed.Verifier
 module Flow = Sepe_sqed.Flow
 module Synth = Sqed_synth
+module Pool = Sqed_par.Pool
 
 open Cmdliner
 
 (* ---- shared arguments -------------------------------------------------- *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print solver counters (decisions, propagations, conflicts, \
+           restarts) and, where a worker pool is used, per-worker task \
+           counts.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel campaigns (default: the SEPE_JOBS \
+           environment variable, then the machine's core count).")
+
+let print_solver_stats (st : Sqed_bmc.Engine.stats) =
+  let s = st.Sqed_bmc.Engine.sat in
+  Printf.printf
+    "solver: %d bounds checked, %.2fs solve time, %d clauses\n\
+     sat:    %d decisions, %d propagations, %d conflicts, %d restarts, %d \
+     learnt literals\n"
+    st.Sqed_bmc.Engine.bounds_checked st.Sqed_bmc.Engine.solve_time
+    st.Sqed_bmc.Engine.clauses s.Sqed_sat.Sat.decisions
+    s.Sqed_sat.Sat.propagations s.Sqed_sat.Sat.conflicts
+    s.Sqed_sat.Sat.restarts s.Sqed_sat.Sat.learnt_literals
+
+let print_worker_stats ws =
+  List.iter
+    (fun w ->
+      Printf.printf "worker %d: %d tasks, %.2fs busy\n" w.Pool.worker
+        w.Pool.tasks w.Pool.busy)
+    ws
 
 let config_of_string = function
   | "rv32" -> Ok Config.rv32
@@ -133,28 +170,29 @@ let table_cmd =
       & info [ "synthesize" ]
           ~doc:"Produce the table with HPF-CEGIS instead of the built-in one.")
   in
-  let run cfg synthesize =
+  let run cfg synthesize jobs stats =
     let table =
-      if synthesize then begin
-        let table, cases = Flow.synthesize_table cfg in
-        List.iter
-          (fun c ->
-            Printf.printf "# %s: %d programs, %.1fs%s\n" c.Flow.case
-              (List.length c.Flow.programs)
-              c.Flow.elapsed
-              (match c.Flow.chosen with
-              | Some p -> " -> " ^ Synth.Program.to_string p
-              | None -> " (fallback to builtin)"))
-          cases;
-        table
-      end
+      if synthesize then
+        Pool.with_pool ?jobs (fun pool ->
+            let table, cases = Flow.synthesize_table ~pool cfg in
+            List.iter
+              (fun c ->
+                Printf.printf "# %s: %d programs, %.1fs%s\n" c.Flow.case
+                  (List.length c.Flow.programs)
+                  c.Flow.elapsed
+                  (match c.Flow.chosen with
+                  | Some p -> " -> " ^ Synth.Program.to_string p
+                  | None -> " (fallback to builtin)"))
+              cases;
+            if stats then print_worker_stats (Pool.stats pool);
+            table)
       else Flow.builtin_table cfg
     in
     print_endline (Sqed_qed.Equiv_table.to_string table)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Print the EDSEP-V equivalence table.")
-    Term.(const run $ config_arg $ synthesize)
+    Term.(const run $ config_arg $ synthesize $ jobs_arg $ stats_arg)
 
 (* ---- sepe verify ------------------------------------------------------------ *)
 
@@ -192,7 +230,7 @@ let verify_cmd =
       & info [ "table" ] ~docv:"FILE"
           ~doc:"Custom EDSEP-V equivalence table (the `sepe table` format).")
   in
-  let run cfg method_ bug bound budget quiet core do_shrink table_file =
+  let run cfg method_ bug bound budget quiet core do_shrink table_file stats =
     let core =
       match core with
       | 3 -> Sqed_qed.Qed_top.Three_stage
@@ -231,6 +269,7 @@ let verify_cmd =
     Printf.printf "%s %s: %s\n" (V.method_name method_)
       (match bug with Some b -> "with bug " ^ Bug.name b | None -> "(no bug)")
       (V.outcome_to_string r);
+    if stats then print_solver_stats r.V.stats;
     match V.trace r with
     | Some t when not quiet ->
         let t =
@@ -257,7 +296,88 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run SQED / SEPE-SQED bounded model checking.")
     Term.(
       const run $ config_arg $ method_ $ bug $ bound $ budget $ quiet $ core
-      $ do_shrink $ table_file)
+      $ do_shrink $ table_file $ stats_arg)
+
+(* ---- sepe sweep ---------------------------------------------------------- *)
+
+let sweep_cmd =
+  let method_ =
+    Arg.(
+      value & opt string "sepe"
+      & info [ "m"; "method" ] ~doc:"Verification method: sepe or sqed.")
+  in
+  let set =
+    Arg.(
+      value & opt string "single"
+      & info [ "set" ] ~docv:"SET"
+          ~doc:"Bug catalog to sweep: single, multi or all.")
+  in
+  let bound =
+    Arg.(value & opt int 12 & info [ "bound" ] ~doc:"BMC bound (cycles).")
+  in
+  let budget =
+    Arg.(
+      value & opt float 600.0 & info [ "budget" ] ~doc:"Time budget per bug.")
+  in
+  let run cfg method_ set bound budget jobs stats =
+    let method_ =
+      match method_ with
+      | "sqed" -> V.Sqed
+      | "sepe" | "sepe-sqed" -> V.Sepe_sqed
+      | other -> failwith ("unknown method " ^ other)
+    in
+    let bugs =
+      match set with
+      | "multi" -> Bug.all_multi
+      | "all" -> Bug.all_single @ Bug.all_multi
+      | _ -> Bug.all_single
+    in
+    (* One pool task per injected bug; each worker domain owns its solver
+       and term universe, so checks share nothing and rows come back in
+       catalog order regardless of the jobs count. *)
+    let check bug =
+      let cfg =
+        if Bug.needs_m bug && not cfg.Config.ext_m then
+          { cfg with Config.ext_m = true }
+        else cfg
+      in
+      (bug, V.run ~bug ~method_ ~bound ~time_budget:budget cfg)
+    in
+    let results, workers =
+      Pool.with_pool ?jobs (fun pool ->
+          let rs = Pool.map pool check bugs in
+          (rs, Pool.stats pool))
+    in
+    let detected = ref 0 in
+    List.iter
+      (fun (bug, r) ->
+        if V.detected r then incr detected;
+        Printf.printf "%-18s %-24s %8.2fs  %d conflicts\n" (Bug.name bug)
+          (V.outcome_to_string r)
+          r.V.stats.Sqed_bmc.Engine.solve_time
+          r.V.stats.Sqed_bmc.Engine.sat_conflicts)
+      results;
+    Printf.printf "detected %d/%d bugs (%s, bound %d)\n" !detected
+      (List.length bugs)
+      (V.method_name method_)
+      bound;
+    if stats then begin
+      print_worker_stats workers;
+      List.iter
+        (fun (bug, r) ->
+          Printf.printf "-- %s\n" (Bug.name bug);
+          print_solver_stats r.V.stats)
+        results
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run BMC against every bug in the catalog, fanning the checks out \
+          over parallel worker domains.")
+    Term.(
+      const run $ config_arg $ method_ $ set $ bound $ budget $ jobs_arg
+      $ stats_arg)
 
 (* ---- sepe export --------------------------------------------------------- *)
 
@@ -556,8 +676,8 @@ let main =
          "SEPE-SQED: symbolic quick error detection by semantically \
           equivalent program execution (DAC 2024 reproduction).")
     [
-      bugs_cmd; synth_cmd; table_cmd; verify_cmd; export_cmd; sim_cmd;
-      campaign_cmd; solve_cmd; prove_cmd; doctor_cmd;
+      bugs_cmd; synth_cmd; table_cmd; verify_cmd; sweep_cmd; export_cmd;
+      sim_cmd; campaign_cmd; solve_cmd; prove_cmd; doctor_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -15,6 +15,7 @@ type stats = {
   solve_time : float;
   clauses : int;
   sat_conflicts : int;
+  sat : Sqed_sat.Sat.stats;
 }
 
 let bool_of bv = not (Bv.is_zero bv)
@@ -132,6 +133,7 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
       solve_time = Unix.gettimeofday () -. started;
       clauses = Solver.num_clauses solver;
       sat_conflicts = st.Sqed_sat.Sat.conflicts;
+      sat = st;
     } )
 
 let replay model trace =
@@ -230,6 +232,7 @@ let prove ?max_conflicts ?time_budget ~max_k model =
       solve_time = Unix.gettimeofday () -. started;
       clauses = Solver.num_clauses base_solver + Solver.num_clauses step_solver;
       sat_conflicts = st.Sqed_sat.Sat.conflicts;
+      sat = st;
     } )
 
 (* Replay a raw input stream and report at which cycle (if any) [bad]

@@ -16,6 +16,8 @@ type stats = {
   solve_time : float;
   clauses : int;
   sat_conflicts : int;
+  sat : Sqed_sat.Sat.stats;
+      (** full solver counters (decisions, propagations, restarts, ...) *)
 }
 
 val check :

@@ -48,7 +48,7 @@ let choose partition spec_name programs =
   in
   match List.sort better candidates with p :: _ -> Some p | [] -> None
 
-let synthesize_table ?options ?cases cfg =
+let synthesize_table ?options ?cases ?jobs ?pool cfg =
   let options =
     match options with
     | Some o ->
@@ -66,21 +66,20 @@ let synthesize_table ?options ?cases cfg =
     | None -> List.map (fun s -> s.Synth.Component.g_name) Synth.Library_.specs
   in
   let partition = Qed.Partition.make Qed.Partition.Edsep cfg in
+  (* One synthesis task per original instruction; each worker domain owns
+     its solvers and term universe, results return in case order. *)
   let results =
     List.map
-      (fun case ->
-        let spec = Synth.Library_.spec case in
-        let r =
-          Synth.Hpf.synthesize ~options ~spec ~library:Synth.Library_.default ()
-        in
-        let programs = r.Synth.Engine.programs in
+      (fun c ->
+        let programs = c.Synth.Campaign.result.Synth.Engine.programs in
         {
-          case;
+          case = c.Synth.Campaign.case;
           programs;
-          chosen = choose partition case programs;
-          elapsed = r.Synth.Engine.elapsed;
+          chosen = choose partition c.Synth.Campaign.case programs;
+          elapsed = c.Synth.Campaign.result.Synth.Engine.elapsed;
         })
-      cases
+      (Synth.Campaign.synthesize_all ?jobs ?pool ~options
+         ~library:Synth.Library_.default cases)
   in
   let entries =
     List.filter_map

@@ -16,10 +16,16 @@ type synthesized_case = {
 val synthesize_table :
   ?options:Sqed_synth.Engine.options ->
   ?cases:string list ->
+  ?jobs:int ->
+  ?pool:Sqed_par.Pool.t ->
   Config.t ->
   Sqed_qed.Equiv_table.t * synthesized_case list
 (** Run HPF-CEGIS per case at the configuration's XLEN and fold the
     results into an equivalence table (classes without a usable
-    synthesized program keep their built-in template). *)
+    synthesized program keep their built-in template).  [?jobs] fans the
+    per-instruction runs out over that many worker domains (default: the
+    [SEPE_JOBS] environment knob, see {!Sqed_par.Pool.default_jobs});
+    [?pool] reuses a caller-owned pool instead (useful to read
+    {!Sqed_par.Pool.stats} afterwards). *)
 
 val builtin_table : Config.t -> Sqed_qed.Equiv_table.t

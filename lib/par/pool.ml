@@ -1,0 +1,173 @@
+type slot = { mutable tasks : int; mutable busy : float }
+
+type task = slot -> unit
+(** A queued task receives the slot of the domain executing it, so batch
+    bookkeeping inside the task can run after the slot's stats update. *)
+
+type t = {
+  n_jobs : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  slots : slot array;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "SEPE_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let worker p i =
+  let slot = p.slots.(i) in
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while Queue.is_empty p.queue && not p.closed do
+      Condition.wait p.nonempty p.mutex
+    done;
+    if Queue.is_empty p.queue then Mutex.unlock p.mutex (* closed: exit *)
+    else begin
+      let task = Queue.pop p.queue in
+      Mutex.unlock p.mutex;
+      task slot;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let n_jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let p =
+    {
+      n_jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      domains = [];
+      slots = Array.init n_jobs (fun _ -> { tasks = 0; busy = 0.0 });
+    }
+  in
+  p.domains <- List.init (n_jobs - 1) (fun i -> Domain.spawn (fun () -> worker p (i + 1)));
+  p
+
+let jobs p = p.n_jobs
+
+let check_open p = if p.closed then invalid_arg "Pool: already shut down"
+
+(* One batch: a completion counter guarded by the pool mutex, plus the
+   first exception raised by any task (re-raised at the join point). *)
+type batch = {
+  mutable remaining : int;
+  batch_done : Condition.t;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let submit_batch p wrap n =
+  check_open p;
+  let b =
+    { remaining = n; batch_done = Condition.create (); failure = None }
+  in
+  let guarded i slot =
+    let t0 = Unix.gettimeofday () in
+    let fail =
+      try wrap i; None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (* One critical section: the slot's stats land before the batch-done
+       signal, so a [stats] read after [map]/[iter] returns counts every
+       task of the batch; [stats] itself never reads a torn pair. *)
+    Mutex.lock p.mutex;
+    (match fail with
+     | Some _ when b.failure = None -> b.failure <- fail
+     | _ -> ());
+    slot.tasks <- slot.tasks + 1;
+    slot.busy <- slot.busy +. dt;
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then Condition.broadcast b.batch_done;
+    Mutex.unlock p.mutex
+  in
+  if p.n_jobs = 1 then
+    (* Inline: deterministic submission order, no queueing. *)
+    for i = 0 to n - 1 do
+      guarded i p.slots.(0)
+    done
+  else begin
+    Mutex.lock p.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (guarded i) p.queue
+    done;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.mutex;
+    (* The caller's domain also works the queue until the batch drains, so
+       [jobs = n] means n busy domains, not n workers plus an idle waiter. *)
+    let slot = p.slots.(0) in
+    let rec help () =
+      Mutex.lock p.mutex;
+      if b.remaining = 0 then Mutex.unlock p.mutex
+      else if Queue.is_empty p.queue then begin
+        (* Tasks of this batch are still running on workers: wait. *)
+        while b.remaining > 0 do
+          Condition.wait b.batch_done p.mutex
+        done;
+        Mutex.unlock p.mutex
+      end
+      else begin
+        let task = Queue.pop p.queue in
+        Mutex.unlock p.mutex;
+        task slot;
+        help ()
+      end
+    in
+    help ()
+  end;
+  match b.failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map_array p f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    submit_batch p (fun i -> results.(i) <- Some (f xs.(i))) n;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map p f xs = Array.to_list (map_array p f (Array.of_list xs))
+
+let iter p f xs =
+  let xs = Array.of_list xs in
+  submit_batch p (fun i -> f xs.(i)) (Array.length xs)
+
+type worker_stats = { worker : int; tasks : int; busy : float }
+
+let stats p =
+  Mutex.lock p.mutex;
+  let out =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : slot) -> { worker = i; tasks = s.tasks; busy = s.busy })
+         p.slots)
+  in
+  Mutex.unlock p.mutex;
+  out
+
+let shutdown p =
+  if not p.closed then begin
+    Mutex.lock p.mutex;
+    p.closed <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.mutex;
+    List.iter Domain.join p.domains;
+    p.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let p = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

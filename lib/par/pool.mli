@@ -1,0 +1,51 @@
+(** A fixed-size domain worker pool for embarrassingly parallel solver
+    campaigns (per-instruction synthesis, per-bug BMC).
+
+    The pool owns [jobs - 1] worker domains plus the caller's domain; a
+    Mutex/Condition task queue feeds them.  Tasks must be independent: the
+    SMT term universe is domain-local (see {!Sqed_smt.Term}), so a task
+    must build every term it uses itself and must only return plain data
+    (or terms it created) to the caller.
+
+    Nested use of the same pool from inside a task deadlocks and is not
+    supported; create an inner pool or run inline instead. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: the [SEPE_JOBS] environment
+    variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is clamped
+    to at least 1).  With [jobs = 1] no domains are spawned and every task
+    runs inline on the caller, in submission order. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map preserving input order.  Blocks until every task has
+    finished.  If any task raised, the first exception observed is
+    re-raised after the whole batch has drained. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+
+type worker_stats = {
+  worker : int;  (** 0 is the slot used by inline execution ([jobs = 1]) *)
+  tasks : int;  (** tasks completed by this worker *)
+  busy : float;  (** wall-clock seconds spent inside tasks *)
+}
+
+val stats : t -> worker_stats list
+(** Per-worker task counts and busy time since [create]. *)
+
+val shutdown : t -> unit
+(** Drain outstanding tasks, stop the workers and join their domains.
+    Idempotent; using the pool afterwards raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    also on exceptions. *)

@@ -19,7 +19,7 @@ type clause = {
   mutable deleted : bool;
 }
 
-(* Growable array of clauses (watch lists, clause databases). *)
+(* Growable array of clauses (clause databases). *)
 module Cvec = struct
   type t = { mutable data : clause array; mutable sz : int }
 
@@ -39,6 +39,47 @@ module Cvec = struct
   let clear v = v.sz <- 0
 end
 
+(* Binary clauses get dedicated watch lists that store only the blocker
+   literal — the clause's other literal, which for a binary clause is
+   also the implied literal.  A binary watcher is therefore one immediate
+   int: visiting it is a single array load plus an assignment lookup, and
+   binary propagation never dereferences clause memory at all.  The
+   backing array starts as a shared empty sentinel and is materialised on
+   first push (most binary-watch slots are never used, and a fresh solver
+   is created for every CEGIS candidate, so per-literal setup allocation
+   is itself on the hot path). *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable sz : int }
+
+  let no_data : int array = [||]
+  let create () = { data = no_data; sz = 0 }
+
+  let push v x =
+    if v.sz = Array.length v.data then begin
+      let cap = if v.sz = 0 then 4 else 2 * v.sz in
+      let d = Array.make cap 0 in
+      Array.blit v.data 0 d 0 v.sz;
+      v.data <- d
+    end;
+    v.data.(v.sz) <- x;
+    v.sz <- v.sz + 1
+end
+
+(* Reasons are stored unboxed in a single [Obj.t] array: an immediate -1
+   for "decision / no reason", an immediate literal for a binary
+   implication (the antecedent is the clause's other literal — the clause
+   itself is never needed again, binary clauses being immune to
+   [reduce_db]), or the reason clause itself for longer clauses.  This
+   keeps binary propagation completely allocation-free: no [Some] cell,
+   no clause pointer.  [Obj] only bypasses the compile-time type, which
+   the accessors below re-impose; mixing immediates and pointers in one
+   array is fine for the GC. *)
+let no_reason : Obj.t = Obj.repr (-1)
+let[@inline] reason_of_clause (c : clause) : Obj.t = Obj.repr c
+let[@inline] reason_of_lit (l : lit) : Obj.t = Obj.repr (l : int)
+let[@inline] reason_is_lit (r : Obj.t) = Obj.is_int r && (Obj.obj r : int) >= 0
+let[@inline] reason_is_none (r : Obj.t) = Obj.is_int r && (Obj.obj r : int) < 0
+
 type stats = {
   decisions : int;
   propagations : int;
@@ -51,10 +92,11 @@ type t = {
   mutable nvars : int;
   clauses : Cvec.t; (* problem clauses *)
   learnts : Cvec.t;
-  mutable watches : Cvec.t array; (* indexed by literal *)
+  mutable watches : Cvec.t array; (* clauses of length >= 3, by literal *)
+  mutable bin_watches : Ivec.t array; (* binary blockers, by literal *)
   mutable assign : int array; (* per var: -1 undef, 0 false, 1 true *)
   mutable level : int array;
-  mutable reason : clause option array;
+  mutable reason : Obj.t array; (* see the reason encoding above *)
   mutable activity : float array;
   mutable polarity : bool array; (* saved phase *)
   mutable seen : bool array;
@@ -88,9 +130,10 @@ let create () =
     clauses = Cvec.create ();
     learnts = Cvec.create ();
     watches = Array.init 2 (fun _ -> Cvec.create ());
+    bin_watches = Array.init 2 (fun _ -> Ivec.create ());
     assign = Array.make 1 (-1);
     level = Array.make 1 0;
-    reason = Array.make 1 None;
+    reason = Array.make 1 no_reason;
     activity = Array.make 1 0.0;
     polarity = Array.make 1 false;
     seen = Array.make 1 false;
@@ -196,15 +239,18 @@ let new_var s =
   let n = s.nvars in
   s.assign <- grow_array s.assign n (-1);
   s.level <- grow_array s.level n 0;
-  s.reason <- grow_array s.reason n None;
+  s.reason <- grow_array s.reason n no_reason;
   s.activity <- grow_array s.activity n 0.0;
   s.polarity <- grow_array s.polarity n false;
   s.seen <- grow_array s.seen n false;
   s.heap_pos <- grow_array s.heap_pos n (-1);
   if Array.length s.watches < 2 * n then begin
-    let d = Array.init (max (2 * n) (2 * Array.length s.watches)) (fun _ -> Cvec.create ()) in
-    Array.blit s.watches 0 d 0 (Array.length s.watches);
-    s.watches <- d
+    let len = max (2 * n) (2 * Array.length s.watches) in
+    let old = Array.length s.watches in
+    let d = Array.init len (fun i -> if i < old then s.watches.(i) else Cvec.create ()) in
+    s.watches <- d;
+    let db = Array.init len (fun i -> if i < old then s.bin_watches.(i) else Ivec.create ()) in
+    s.bin_watches <- db
   end;
   if Array.length s.trail < n then s.trail <- grow_array s.trail n 0;
   heap_insert s v;
@@ -250,8 +296,17 @@ let cla_bump s c =
 (* -- clause addition -------------------------------------------------- *)
 
 let watch s c =
-  Cvec.push s.watches.(c.lits.(0)) c;
-  Cvec.push s.watches.(c.lits.(1)) c
+  if Array.length c.lits = 2 then begin
+    (* Both literals stay watched forever (binary watchers are never moved
+       and binary clauses are never deleted by reduce_db), so only the
+       blocker — the other, implied literal — needs to be recorded. *)
+    Ivec.push s.bin_watches.(c.lits.(0)) c.lits.(1);
+    Ivec.push s.bin_watches.(c.lits.(1)) c.lits.(0)
+  end
+  else begin
+    Cvec.push s.watches.(c.lits.(0)) c;
+    Cvec.push s.watches.(c.lits.(1)) c
+  end
 
 exception Early_unsat
 
@@ -288,7 +343,7 @@ let add_clause_internal s lits =
           | 0 ->
               s.ok <- false;
               raise Early_unsat
-          | _ -> enqueue s l None)
+          | _ -> enqueue s l no_reason)
       | ls ->
           let c =
             {
@@ -312,65 +367,97 @@ let add_clause s lits = add_clause_a s (Array.of_list lits)
 (* -- propagation ------------------------------------------------------ *)
 
 let propagate s =
-  let confl = ref None in
-  while !confl = None && s.qhead < s.trail_sz do
+  (* The conflict flag is a clause with a physical-equality sentinel:
+     comparing against [None] per watcher visit would call the
+     polymorphic equality primitive in the hottest loop of the solver. *)
+  let none = Cvec.dummy_clause in
+  let confl = ref none in
+  while !confl == none && s.qhead < s.trail_sz do
     let p = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
     s.n_propagations <- s.n_propagations + 1;
     let false_lit = negate p in
-    let ws = s.watches.(false_lit) in
-    let i = ref 0 and j = ref 0 in
-    let n = ws.Cvec.sz in
-    (try
-       while !i < n do
-         let c = ws.Cvec.data.(!i) in
-         incr i;
-         if c.deleted then () (* dropped lazily *)
-         else begin
-           (* Make sure the false literal is at position 1. *)
-           if c.lits.(0) = false_lit then begin
-             c.lits.(0) <- c.lits.(1);
-             c.lits.(1) <- false_lit
-           end;
-           if lit_val s c.lits.(0) = 1 then begin
-             ws.Cvec.data.(!j) <- c;
-             incr j
-           end
+    (* Binary clauses first: each visit is one int load plus an
+       assignment lookup — the blocker is the implied literal, so neither
+       propagation nor the recorded reason ever touches clause memory.  A
+       conflicting binary clause is materialised on the spot (conflicts
+       are orders of magnitude rarer than visits). *)
+    let bw = s.bin_watches.(false_lit) in
+    let nb = bw.Ivec.sz in
+    let bi = ref 0 in
+    while !confl == none && !bi < nb do
+      let blit = bw.Ivec.data.(!bi) in
+      (match lit_val s blit with
+      | 1 -> ()
+      | 0 ->
+          s.qhead <- s.trail_sz;
+          confl :=
+            {
+              lits = [| blit; false_lit |];
+              act = 0.0;
+              lbd = 0;
+              learnt = false;
+              deleted = false;
+            }
+      | _ -> enqueue s blit (reason_of_lit false_lit));
+      incr bi
+    done;
+    if !confl == none then begin
+      let ws = s.watches.(false_lit) in
+      let i = ref 0 and j = ref 0 in
+      let n = ws.Cvec.sz in
+      (try
+         while !i < n do
+           let c = ws.Cvec.data.(!i) in
+           incr i;
+           if c.deleted then () (* dropped lazily *)
            else begin
-             (* Look for a new literal to watch. *)
-             let len = Array.length c.lits in
-             let k = ref 2 in
-             while !k < len && lit_val s c.lits.(!k) = 0 do
-               incr k
-             done;
-             if !k < len then begin
-               c.lits.(1) <- c.lits.(!k);
-               c.lits.(!k) <- false_lit;
-               Cvec.push s.watches.(c.lits.(1)) c
+             (* Make sure the false literal is at position 1. *)
+             if c.lits.(0) = false_lit then begin
+               c.lits.(0) <- c.lits.(1);
+               c.lits.(1) <- false_lit
+             end;
+             let first = c.lits.(0) in
+             if lit_val s first = 1 then begin
+               ws.Cvec.data.(!j) <- c;
+               incr j
              end
              else begin
-               ws.Cvec.data.(!j) <- c;
-               incr j;
-               if lit_val s c.lits.(0) = 0 then begin
-                 (* Conflict: copy the remaining watchers back. *)
-                 s.qhead <- s.trail_sz;
-                 while !i < n do
-                   ws.Cvec.data.(!j) <- ws.Cvec.data.(!i);
-                   incr i;
-                   incr j
-                 done;
-                 confl := Some c;
-                 raise Exit
+               (* Look for a new literal to watch. *)
+               let len = Array.length c.lits in
+               let k = ref 2 in
+               while !k < len && lit_val s c.lits.(!k) = 0 do
+                 incr k
+               done;
+               if !k < len then begin
+                 c.lits.(1) <- c.lits.(!k);
+                 c.lits.(!k) <- false_lit;
+                 Cvec.push s.watches.(c.lits.(1)) c
                end
-               else enqueue s c.lits.(0) (Some c)
+               else begin
+                 ws.Cvec.data.(!j) <- c;
+                 incr j;
+                 if lit_val s first = 0 then begin
+                   (* Conflict: copy the remaining watchers back. *)
+                   s.qhead <- s.trail_sz;
+                   while !i < n do
+                     ws.Cvec.data.(!j) <- ws.Cvec.data.(!i);
+                     incr i;
+                     incr j
+                   done;
+                   confl := c;
+                   raise Exit
+                 end
+                 else enqueue s first (reason_of_clause c)
+               end
              end
            end
-         end
-       done
-     with Exit -> ());
-    ws.Cvec.sz <- !j
+         done
+       with Exit -> ());
+      ws.Cvec.sz <- !j
+    end
   done;
-  !confl
+  if !confl == none then None else Some !confl
 
 (* -- backtracking ------------------------------------------------------ *)
 
@@ -380,7 +467,7 @@ let cancel_until s lvl =
     for i = s.trail_sz - 1 downto bound do
       let v = var_of s.trail.(i) in
       s.assign.(v) <- -1;
-      s.reason.(v) <- None;
+      s.reason.(v) <- no_reason;
       heap_insert s v
     done;
     s.trail_sz <- bound;
@@ -401,28 +488,36 @@ let analyze s confl =
   let path = ref 0 in
   let p = ref (-1) in
   let idx = ref (s.trail_sz - 1) in
-  let confl = ref (Some confl) in
+  let confl = ref (reason_of_clause confl) in
   let bt_level = ref 0 in
   let continue = ref true in
+  (* Mark one antecedent literal of the current reason/conflict. *)
+  let[@inline] mark q =
+    let v = var_of q in
+    if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      s.seen.(v) <- true;
+      var_bump s v;
+      if s.level.(v) >= decision_level s then incr path
+      else begin
+        learnt := q :: !learnt;
+        if s.level.(v) > !bt_level then bt_level := s.level.(v)
+      end
+    end
+  in
   while !continue do
-    (match !confl with
-    | None -> assert false
-    | Some c ->
-        if c.learnt then cla_bump s c;
-        let start = if !p = -1 then 0 else 1 in
-        for k = start to Array.length c.lits - 1 do
-          let q = c.lits.(k) in
-          let v = var_of q in
-          if (not s.seen.(v)) && s.level.(v) > 0 then begin
-            s.seen.(v) <- true;
-            var_bump s v;
-            if s.level.(v) >= decision_level s then incr path
-            else begin
-              learnt := q :: !learnt;
-              if s.level.(v) > !bt_level then bt_level := s.level.(v)
-            end
-          end
-        done);
+    (if reason_is_lit !confl then
+       (* Binary implication: the stored literal is the whole antecedent
+          (the implied side is skipped exactly as start=1 does below). *)
+       mark (Obj.obj !confl : int)
+     else begin
+       assert (not (reason_is_none !confl));
+       let c : clause = Obj.obj !confl in
+       if c.learnt then cla_bump s c;
+       let start = if !p = -1 then 0 else 1 in
+       for k = start to Array.length c.lits - 1 do
+         mark c.lits.(k)
+       done
+     end);
     (* Walk the trail backwards to the next marked literal. *)
     while not s.seen.(var_of s.trail.(!idx)) do
       decr idx
@@ -442,32 +537,76 @@ let analyze s confl =
       p := q
     end
   done;
-  (* Recursive clause minimization: a literal is redundant when every
-     path through its implication graph ancestry ends in literals already
-     in the learnt clause (or fixed at level 0). *)
+  (* Clause minimization: a literal is redundant when every path through
+     its implication-graph ancestry ends in literals already in the learnt
+     clause (or fixed at level 0).  The walk is iterative — an explicit
+     stack of (literal, reason, next-antecedent) frames — so deep chains
+     cost heap, not OCaml stack.  The probe gives up beyond 49 frames
+     (failing is always sound, it only keeps a removable literal); giving
+     up cheaply matters, because on parity-heavy instances most probes
+     fail and an eager abort is what keeps minimization off the
+     profile. *)
   List.iter (fun l -> s.seen.(var_of l) <- true) !learnt;
   let extra_seen = ref [] in
-  let rec lit_redundant l depth =
-    if depth > 48 then false
-    else
-      match s.reason.(var_of l) with
-      | None -> false
-      | Some c ->
-          Array.for_all
-            (fun q ->
-              q = negate l
-              || s.level.(var_of q) = 0
-              || s.seen.(var_of q)
-              ||
-              (s.reason.(var_of q) <> None
-              && lit_redundant q (depth + 1)
-              &&
-              (s.seen.(var_of q) <- true;
-               extra_seen := q :: !extra_seen;
-               true)))
-            c.lits
+  let lit_redundant l0 =
+    let r0 = s.reason.(var_of l0) in
+    if reason_is_none r0 then false
+    else begin
+      let nant r =
+        if reason_is_lit r then 1 else Array.length (Obj.obj r : clause).lits
+      in
+      let stack = ref [ (l0, r0, nant r0, ref 0) ] in
+      let depth = ref 1 in
+      let ok = ref true in
+      (try
+         while !stack <> [] do
+           match !stack with
+           | [] -> assert false
+           | (l, r, n, k) :: rest ->
+               if !k >= n then begin
+                 (* Every antecedent is covered: [l] is redundant.  Mark
+                    it so sibling probes and later top-level probes reuse
+                    the result (the top literal is already seen). *)
+                 stack := rest;
+                 decr depth;
+                 if rest <> [] then begin
+                   s.seen.(var_of l) <- true;
+                   extra_seen := l :: !extra_seen
+                 end
+               end
+               else begin
+                 let q =
+                   if reason_is_lit r then (Obj.obj r : int)
+                   else (Obj.obj r : clause).lits.(!k)
+                 in
+                 incr k;
+                 if
+                   q = negate l
+                   || s.level.(var_of q) = 0
+                   || s.seen.(var_of q)
+                 then ()
+                 else if !depth >= 49 then begin
+                   ok := false;
+                   raise Exit
+                 end
+                 else begin
+                   let rq = s.reason.(var_of q) in
+                   if reason_is_none rq then begin
+                     ok := false;
+                     raise Exit
+                   end
+                   else begin
+                     stack := (q, rq, nant rq, ref 0) :: !stack;
+                     incr depth
+                   end
+                 end
+               end
+         done
+       with Exit -> ());
+      !ok
+    end
   in
-  let kept = List.filter (fun l -> not (lit_redundant l 0)) !learnt in
+  let kept = List.filter (fun l -> not (lit_redundant l)) !learnt in
   List.iter (fun l -> s.seen.(var_of l) <- false) !learnt;
   List.iter (fun l -> s.seen.(var_of l) <- false) !extra_seen;
   (* Recompute the backtrack level from the kept literals. *)
@@ -485,7 +624,8 @@ let record_learnt s lits lbd =
   | [] -> s.ok <- false
   | [ l ] ->
       cancel_until s 0;
-      if lit_val s l = 0 then s.ok <- false else if lit_val s l = -1 then enqueue s l None
+      if lit_val s l = 0 then s.ok <- false
+      else if lit_val s l = -1 then enqueue s l no_reason
   | asserting :: _ ->
       let arr = Array.of_list lits in
       (* Put a highest-level literal (other than the asserting one) in
@@ -502,7 +642,8 @@ let record_learnt s lits lbd =
       Cvec.push s.learnts c;
       watch s c;
       s.n_learnt_lits <- s.n_learnt_lits + Array.length arr;
-      enqueue s asserting (Some c)
+      if Array.length arr = 2 then enqueue s asserting (reason_of_lit arr.(1))
+      else enqueue s asserting (reason_of_clause c)
 
 (* -- learnt clause DB reduction ---------------------------------------- *)
 
@@ -510,7 +651,8 @@ let locked s c =
   Array.length c.lits > 0
   &&
   let v = var_of c.lits.(0) in
-  match s.reason.(v) with Some r -> r == c && s.assign.(v) >= 0 | None -> false
+  let r = s.reason.(v) in
+  (not (Obj.is_int r)) && (Obj.obj r : clause) == c && s.assign.(v) >= 0
 
 let reduce_db s =
   let l = s.learnts in
@@ -632,7 +774,7 @@ let solve ?(assumptions = []) ?max_conflicts ?deadline s =
                        | 0 -> raise (Found Unsat)
                        | _ ->
                            new_decision_level s;
-                           enqueue s a None
+                           enqueue s a no_reason
                      end
                      else begin
                        let v = pick_branch_var s in
@@ -648,7 +790,7 @@ let solve ?(assumptions = []) ?max_conflicts ?deadline s =
                        s.n_decisions <- s.n_decisions + 1;
                        new_decision_level s;
                        let l = if s.polarity.(v) then pos v else neg_of_var v in
-                       enqueue s l None
+                       enqueue s l no_reason
                      end
                done
              with Exit -> ())
@@ -671,16 +813,30 @@ let lit_value s l =
 
 let to_dimacs s =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    (Printf.sprintf "p cnf %d %d\n" s.nvars s.clauses.Cvec.sz);
-  for i = 0 to s.clauses.Cvec.sz - 1 do
-    let c = s.clauses.Cvec.data.(i) in
-    Array.iter
-      (fun l ->
-        let v = var_of l + 1 in
-        Buffer.add_string buf (string_of_int (if is_pos l then v else -v));
-        Buffer.add_char buf ' ')
-      c.lits;
+  (* Unit clauses never reach [clauses]: they are enqueued on the trail at
+     level 0 (both user-added units and top-level propagations, which are
+     implied anyway).  Export them as unit clauses so the CNF is
+     equisatisfiable with the solver state. *)
+  let root_sz = if s.trail_lim_sz = 0 then s.trail_sz else s.trail_lim.(0) in
+  let n_total =
+    s.clauses.Cvec.sz + root_sz + (if s.ok then 0 else 1)
+  in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" s.nvars n_total);
+  let emit_lit l =
+    let v = var_of l + 1 in
+    Buffer.add_string buf (string_of_int (if is_pos l then v else -v));
+    Buffer.add_char buf ' '
+  in
+  for i = 0 to root_sz - 1 do
+    emit_lit s.trail.(i);
     Buffer.add_string buf "0\n"
   done;
+  for i = 0 to s.clauses.Cvec.sz - 1 do
+    let c = s.clauses.Cvec.data.(i) in
+    Array.iter emit_lit c.lits;
+    Buffer.add_string buf "0\n"
+  done;
+  (* A derived empty clause cannot be represented by the stored clauses;
+     emit it explicitly so the export stays unsatisfiable. *)
+  if not s.ok then Buffer.add_string buf "0\n";
   Buffer.contents buf

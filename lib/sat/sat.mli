@@ -1,10 +1,12 @@
 (** A CDCL SAT solver.
 
-    Features: two-watched-literal propagation, VSIDS decision heuristic with
-    phase saving, first-UIP conflict analysis with clause minimization, Luby
-    restarts, learnt-clause database reduction, and solving under
-    assumptions.  Built for the bit-blasted QF_BV queries issued by
-    {!Sqed_smt} (CEGIS and BMC workloads). *)
+    Features: two-watched-literal propagation with dedicated binary-clause
+    watch lists (a binary watcher is a single blocker literal, so binary
+    propagation never touches clause memory), VSIDS decision heuristic with
+    phase saving, first-UIP conflict analysis with iterative clause
+    minimization, Luby restarts, learnt-clause database reduction, and
+    solving under assumptions.  Built for the bit-blasted QF_BV queries
+    issued by {!Sqed_smt} (CEGIS and BMC workloads). *)
 
 type t
 
@@ -63,4 +65,8 @@ val stats : t -> stats
 
 val to_dimacs : t -> string
 (** The problem clauses (not learnt ones) in DIMACS format, for
-    cross-checking instances with external SAT solvers. *)
+    cross-checking instances with external SAT solvers.  Level-0 trail
+    literals are exported as unit clauses (units are absorbed into the
+    trail when added, so they never appear in the clause database) and a
+    derived empty clause is exported explicitly: the result is always
+    equisatisfiable with the solver state. *)

@@ -96,16 +96,38 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let table : t Tbl.t = Tbl.create 4096
-let next_id = ref 0
+(* Each domain owns an independent term universe (hash-consing table and id
+   allocator) behind [Domain.DLS], so solver campaigns can run on worker
+   domains without locking the hot consing path.  Ids are handed out in
+   disjoint blocks off a global atomic counter: terms built on different
+   domains are never physically equal, but their ids never collide either,
+   so id-keyed caches (bit-blaster, eval, rewrite) stay correct even when a
+   worker's terms flow back to the caller.  Sharing is only guaranteed
+   within one domain; structurally equal terms from two domains compare
+   unequal, which costs sharing, never soundness. *)
+
+let id_block_bits = 20
+let next_block = Atomic.make 0
+
+type manager = { table : t Tbl.t; mutable next_id : int; mutable id_limit : int }
+
+let manager_key =
+  Domain.DLS.new_key (fun () ->
+      { table = Tbl.create 4096; next_id = 0; id_limit = 0 })
 
 let intern width node =
-  match Tbl.find_opt table node with
+  let m = Domain.DLS.get manager_key in
+  match Tbl.find_opt m.table node with
   | Some t -> t
   | None ->
-      let t = { id = !next_id; width; node } in
-      incr next_id;
-      Tbl.add table node t;
+      if m.next_id >= m.id_limit then begin
+        let b = Atomic.fetch_and_add next_block 1 in
+        m.next_id <- b lsl id_block_bits;
+        m.id_limit <- (b + 1) lsl id_block_bits
+      end;
+      let t = { id = m.next_id; width; node } in
+      m.next_id <- m.next_id + 1;
+      Tbl.add m.table node t;
       t
 
 (* -- leaves ------------------------------------------------------------ *)

@@ -1,9 +1,14 @@
 (** Hash-consed QF_BV terms with constant folding.
 
-    Terms are globally hash-consed: structurally equal terms are physically
-    equal and carry the same [id], which the bit-blaster exploits for
-    sharing.  Booleans are bitvectors of width 1.  All constructors check
-    operand widths and raise [Invalid_argument] on mismatch. *)
+    Terms are hash-consed per domain: within one domain, structurally equal
+    terms are physically equal and carry the same [id], which the
+    bit-blaster exploits for sharing.  Each domain owns an independent term
+    universe ([Domain.DLS]); ids are drawn from disjoint blocks, so terms
+    from different domains never collide in id-keyed caches, they merely
+    don't share.  A solver instance and all terms it sees should be built
+    on a single domain.  Booleans are bitvectors of width 1.  All
+    constructors check operand widths and raise [Invalid_argument] on
+    mismatch. *)
 
 module Bv = Sqed_bv.Bv
 

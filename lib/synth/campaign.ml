@@ -1,0 +1,24 @@
+(* The synthesis campaign: one equivalent-program synthesis task per
+   original instruction, fanned out over a domain pool.  Lives outside
+   Engine because Engine is below Hpf/Iterative in the module order. *)
+
+module Pool = Sqed_par.Pool
+
+type engine = Hpf | Iterative
+
+type case_result = { case : string; result : Engine.result }
+
+let run_case ~engine ~options ~library case =
+  let spec = Library_.spec case in
+  let result =
+    match engine with
+    | Hpf -> Hpf.synthesize ~options ~spec ~library ()
+    | Iterative -> Iterative.synthesize ~options ~spec ~library
+  in
+  { case; result }
+
+let synthesize_all ?(engine = Hpf) ?jobs ?pool ~options ~library cases =
+  let run = run_case ~engine ~options ~library in
+  match pool with
+  | Some p -> Pool.map p run cases
+  | None -> Pool.with_pool ?jobs (fun p -> Pool.map p run cases)

@@ -1,0 +1,31 @@
+(** Parallel synthesis campaigns: fans one HPF-CEGIS (or iterative-CEGIS)
+    run per original instruction out to a {!Sqed_par.Pool} of worker
+    domains.  Each task builds its own solver and term universe (terms are
+    domain-local, see {!Sqed_smt.Term}), so tasks share nothing and the
+    campaign scales with cores.  Results come back in input order and are
+    identical to the sequential path run case by case. *)
+
+type engine = Hpf | Iterative
+
+type case_result = { case : string; result : Engine.result }
+
+val run_case :
+  engine:engine ->
+  options:Engine.options ->
+  library:Component.t list ->
+  string ->
+  case_result
+(** Synthesize one case (an instruction name from {!Library_}). *)
+
+val synthesize_all :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?pool:Sqed_par.Pool.t ->
+  options:Engine.options ->
+  library:Component.t list ->
+  string list ->
+  case_result list
+(** [synthesize_all ~options ~library cases] synthesizes every case in
+    parallel.  [?pool] reuses a caller-owned pool; otherwise a fresh pool
+    of [?jobs] workers (default {!Sqed_par.Pool.default_jobs}, i.e. the
+    [SEPE_JOBS] environment knob) is created for the call. *)

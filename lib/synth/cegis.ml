@@ -34,11 +34,12 @@ let default_config =
     max_programs_per_multiset = 4;
   }
 
+(* Atomic so concurrent synthesis tasks on worker domains never mint the
+   same variable name (names only need to be unique per solver instance,
+   but uniqueness across the process is cheap and simpler to reason about). *)
 let fresh =
-  let n = ref 0 in
-  fun prefix ->
-    incr n;
-    Printf.sprintf "%s!%d" prefix !n
+  let n = Atomic.make 0 in
+  fun prefix -> Printf.sprintf "%s!%d" prefix (Atomic.fetch_and_add n 1)
 
 let input_width cfg kind = Component.spec_input_width ~xlen:cfg.xlen kind
 

@@ -4,11 +4,10 @@ module Solver = Sqed_smt.Solver
 
 type outcome = Complete | Budget_exhausted
 
+(* Atomic: see Cegis.fresh. *)
 let fresh =
-  let n = ref 0 in
-  fun prefix ->
-    incr n;
-    Printf.sprintf "%s~%d" prefix !n
+  let n = Atomic.make 0 in
+  fun prefix -> Printf.sprintf "%s~%d" prefix (Atomic.fetch_and_add n 1)
 
 let loc_width n_locs =
   let rec go k = if 1 lsl k >= n_locs then k else go (k + 1) in

@@ -3,6 +3,7 @@ let () =
     [
       ("bv", Test_bv.suite);
       ("sat", Test_sat.suite);
+      ("par", Test_par.suite);
       ("smt", Test_smt.suite);
       ("rtl", Test_rtl.suite);
       ("isa", Test_isa.suite);

@@ -1,0 +1,113 @@
+(* Tests for the domain worker pool (Sqed_par.Pool) and the parallel
+   synthesis campaign built on it.  The cross-check at the bottom is the
+   correctness anchor for the whole multicore design: a parallel campaign
+   must synthesize exactly the same programs as the sequential one. *)
+
+module Pool = Sqed_par.Pool
+module Synth = Sqed_synth
+
+let test_map_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      let ys = Pool.map p (fun x -> x * x) xs in
+      Alcotest.(check (list int))
+        "squares in order"
+        (List.map (fun x -> x * x) xs)
+        ys)
+
+let test_map_inline () =
+  (* jobs = 1 runs tasks inline on the caller, in order, no domains. *)
+  Pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check int) "one worker" 1 (Pool.jobs p);
+      let ys = Pool.map p (fun x -> x + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "inline path" [ 2; 3; 4 ] ys)
+
+let test_batch_reuse () =
+  (* A pool must survive several map batches. *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      for i = 1 to 5 do
+        let ys = Pool.map p (fun x -> x * i) [ 1; 2; 3 ] in
+        Alcotest.(check (list int)) "batch" [ i; 2 * i; 3 * i ] ys
+      done)
+
+let test_iter () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let total = Atomic.make 0 in
+      Pool.iter p (fun x -> ignore (Atomic.fetch_and_add total x))
+        (List.init 50 Fun.id);
+      Alcotest.(check int) "side effects all ran" (50 * 49 / 2)
+        (Atomic.get total))
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      match
+        Pool.map p
+          (fun x -> if x = 7 then failwith "boom" else x)
+          (List.init 16 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* The pool that raised must still be usable for the next batch. *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      (try ignore (Pool.map p (fun _ -> failwith "x") [ 1 ]) with _ -> ());
+      Alcotest.(check (list int)) "usable after failure" [ 4 ]
+        (Pool.map p (fun x -> x * 2) [ 2 ]))
+
+let test_stats () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      ignore (Pool.map p Fun.id (List.init 10 Fun.id));
+      let ws = Pool.stats p in
+      Alcotest.(check int) "one slot per worker" (Pool.jobs p) (List.length ws);
+      let total = List.fold_left (fun acc w -> acc + w.Pool.tasks) 0 ws in
+      Alcotest.(check int) "all tasks accounted" 10 total)
+
+let test_env_knob () =
+  Unix.putenv "SEPE_JOBS" "3";
+  let d = Pool.default_jobs () in
+  Unix.putenv "SEPE_JOBS" "";
+  Alcotest.(check int) "SEPE_JOBS honoured" 3 d;
+  Alcotest.(check bool) "fallback positive" true (Pool.default_jobs () >= 1)
+
+(* ---------------------------------------------------------------- *)
+(* Parallel synthesis equals sequential synthesis                    *)
+(* ---------------------------------------------------------------- *)
+
+let campaign_fingerprint jobs =
+  let options =
+    {
+      Synth.Engine.default_options with
+      Synth.Engine.k = 1;
+      n_max = 3;
+      time_budget = Some 60.0;
+      config = { Synth.Cegis.default_config with Synth.Cegis.xlen = 8 };
+    }
+  in
+  Synth.Campaign.synthesize_all ~jobs ~options
+    ~library:Synth.Library_.default [ "ADD"; "XOR"; "SUB" ]
+  |> List.map (fun c ->
+         ( c.Synth.Campaign.case,
+           List.sort compare
+             (List.map Synth.Program.to_string
+                c.Synth.Campaign.result.Synth.Engine.programs) ))
+
+let test_parallel_matches_sequential () =
+  let seq = campaign_fingerprint 1 in
+  let par = campaign_fingerprint 3 in
+  Alcotest.(check (list (pair string (list string))))
+    "same programs modulo order" seq par;
+  Alcotest.(check bool) "something was synthesized" true
+    (List.exists (fun (_, ps) -> ps <> []) seq)
+
+let suite =
+  [
+    Alcotest.test_case "map keeps order" `Quick test_map_order;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_map_inline;
+    Alcotest.test_case "pool survives batches" `Quick test_batch_reuse;
+    Alcotest.test_case "iter runs every task" `Quick test_iter;
+    Alcotest.test_case "task exception re-raises" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "per-worker stats" `Quick test_stats;
+    Alcotest.test_case "SEPE_JOBS knob" `Quick test_env_knob;
+    Alcotest.test_case "parallel = sequential synthesis" `Slow
+      test_parallel_matches_sequential;
+  ]

@@ -153,6 +153,45 @@ let test_stats () =
   let st = Sat.stats s in
   Alcotest.(check bool) "propagated" true (st.Sat.propagations > 0)
 
+let test_dimacs_units_unsat () =
+  (* An instance that is UNSAT only through absorbed unit clauses: units
+     never reach the clause database (they are applied to the trail at add
+     time), so an export without the level-0 trail would flip the
+     re-parsed verdict to SAT. *)
+  let module D = Sqed_sat.Dimacs in
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos a ];
+  Sat.add_clause s [ Sat.neg_of_var a; Sat.pos b ];
+  Sat.add_clause s [ Sat.neg_of_var b ];
+  (match D.parse (Sat.to_dimacs s) with
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+  | Ok cnf ->
+      Alcotest.(check bool) "exports a unit clause" true
+        (List.exists (fun c -> List.length c <= 1) cnf.D.clauses);
+      Alcotest.check result_t "reparsed verdict" Sat.Unsat (fst (D.solve cnf)));
+  Alcotest.check result_t "direct verdict" Sat.Unsat (Sat.solve s)
+
+let test_dimacs_units_pin_model () =
+  (* SAT instance whose units pin part of the model: every model of the
+     re-exported CNF must agree with the pinned values. *)
+  let module D = Sqed_sat.Dimacs in
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  let c = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos a ];
+  Sat.add_clause s [ Sat.neg_of_var b ];
+  Sat.add_clause s [ Sat.pos b; Sat.pos c; Sat.neg_of_var a ];
+  match D.parse (Sat.to_dimacs s) with
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+  | Ok cnf -> (
+      match D.solve cnf with
+      | Sat.Sat, Some m ->
+          Alcotest.(check bool) "a pinned true" true m.(0);
+          Alcotest.(check bool) "b pinned false" false m.(1);
+          Alcotest.(check bool) "c forced by a, ~b" true m.(2)
+      | _ -> Alcotest.fail "re-parsed instance should be SAT with a model")
+
 (* ---------------------------------------------------------------- *)
 (* Property: agreement with brute force on random 3-CNF              *)
 (* ---------------------------------------------------------------- *)
@@ -232,8 +271,10 @@ let cnf_print cnf =
        cnf)
 
 let dimacs_roundtrip ~nvars (cnf : cnf) =
-  (* Loading the CNF into a solver and re-exporting it must preserve
-     satisfiability (clauses may be simplified or dropped as tautologies). *)
+  (* Loading the CNF into a solver and re-exporting it must preserve the
+     exact verdict: level-0 trail literals (absorbed units and their
+     propagations) are exported as unit clauses and a derived empty clause
+     is exported explicitly. *)
   let module D = Sqed_sat.Dimacs in
   let s = Sat.create () in
   let v = mk_vars s nvars in
@@ -246,20 +287,55 @@ let dimacs_roundtrip ~nvars (cnf : cnf) =
              if l > 0 then Sat.pos var else Sat.neg_of_var var)
            clause))
     cnf;
+  (* Export before solving: the harder direction, since the trail holds
+     only load-time units at this point. *)
   match D.parse (Sat.to_dimacs s) with
   | Error _ -> false
-  | Ok reparsed ->
-      let direct = Sat.solve s = Sat.Sat in
-      (* [s] now carries a model or refutation; a fresh solve of the
-         re-parsed instance must agree whenever no unit clauses were
-         absorbed at load time (units are applied eagerly and don't appear
-         in the export, so only equi-satisfiability can be required). *)
-      let reparsed_sat = fst (D.solve reparsed) in
-      (not direct) || reparsed_sat <> Sat.Unsat
+  | Ok reparsed -> fst (D.solve reparsed) = Sat.solve s
+
+(* The fuzz check exercises all three propagation paths: unit clauses
+   (level-0 trail), binary clauses (dedicated watch lists) and longer
+   clauses (blocker-guarded watch lists). *)
+let fuzz_check ~nvars (cnf : cnf) =
+  let s = Sat.create () in
+  let v = mk_vars s nvars in
+  List.iter
+    (fun clause ->
+      Sat.add_clause s
+        (List.map
+           (fun l ->
+             let var = v.(abs l - 1) in
+             if l > 0 then Sat.pos var else Sat.neg_of_var var)
+           clause))
+    cnf;
+  match Sat.solve s with
+  | Sat.Unknown -> false
+  | Sat.Unsat -> not (brute_force ~nvars cnf)
+  | Sat.Sat ->
+      brute_force ~nvars cnf
+      && List.for_all
+           (fun clause ->
+             List.exists
+               (fun l ->
+                 let b = Sat.value s v.(abs l - 1) in
+                 if l > 0 then b else not b)
+               clause)
+           cnf
+
+let gen_cnf_mixed ~nvars ~max_len : cnf QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_lit =
+    map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound (nvars - 1)) bool
+  in
+  int_range 10 60 >>= fun ncl ->
+  list_size (return ncl) (list_size (int_range 1 max_len) gen_lit)
 
 let props =
   let nvars = 8 in
   let arb n = QCheck.make ~print:cnf_print (gen_cnf ~nvars ~nclauses:n) in
+  let arb_mixed ~nvars ~max_len =
+    QCheck.make ~print:cnf_print (gen_cnf_mixed ~nvars ~max_len)
+  in
   [
     QCheck.Test.make ~name:"agrees with brute force (sparse)" ~count:200
       (arb 12)
@@ -269,8 +345,20 @@ let props =
       (fun cnf -> solver_verdict ~nvars cnf = brute_force ~nvars cnf);
     QCheck.Test.make ~name:"models satisfy the formula" ~count:200 (arb 25)
       (fun cnf -> model_satisfies ~nvars cnf);
-    QCheck.Test.make ~name:"dimacs export equisatisfiable" ~count:150 (arb 20)
+    QCheck.Test.make ~name:"dimacs export exact verdict" ~count:150 (arb 20)
       (fun cnf -> dimacs_roundtrip ~nvars cnf);
+    (* >= 500 random instances vs brute force (the ISSUE's fuzz floor):
+       binary-heavy CNFs stress the dedicated binary watch lists, mixed
+       widths at 14 variables stress the blocker fast path. *)
+    QCheck.Test.make ~name:"fuzz vs brute force (binary-heavy)" ~count:300
+      (arb_mixed ~nvars:10 ~max_len:2)
+      (fun cnf -> fuzz_check ~nvars:10 cnf);
+    QCheck.Test.make ~name:"fuzz vs brute force (mixed, 14 vars)" ~count:300
+      (arb_mixed ~nvars:14 ~max_len:4)
+      (fun cnf -> fuzz_check ~nvars:14 cnf);
+    QCheck.Test.make ~name:"dimacs roundtrip (mixed, 12 vars)" ~count:150
+      (arb_mixed ~nvars:12 ~max_len:4)
+      (fun cnf -> dimacs_roundtrip ~nvars:12 cnf);
   ]
 
 let suite =
@@ -288,5 +376,9 @@ let suite =
     Alcotest.test_case "incremental" `Quick test_incremental;
     Alcotest.test_case "tautology handling" `Quick test_duplicate_and_tautology;
     Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "dimacs keeps units (unsat)" `Quick
+      test_dimacs_units_unsat;
+    Alcotest.test_case "dimacs keeps units (model)" `Quick
+      test_dimacs_units_pin_model;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
