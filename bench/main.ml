@@ -26,10 +26,15 @@ module V = Sepe_sqed.Verifier
 module Synth = Sqed_synth
 module Trace = Sqed_bmc.Trace
 module Pool = Sqed_par.Pool
+module Metrics = Sqed_obs.Metrics
+module Span = Sqed_obs.Trace
 
 let fast = ref false
 let jobs = ref 0 (* 0 = Pool.default_jobs () *)
 let json_path = ref "BENCH_sepe.json"
+let metrics_on = ref true (* --no-metrics opts out *)
+let trace_path = ref None
+let metrics_json_path = ref None
 let line = String.make 72 '-'
 
 let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
@@ -50,139 +55,64 @@ type bench_record = {
 let records : bench_record list ref = ref []
 
 let write_json () =
+  let module Json = Sqed_obs.Json in
+  let experiments =
+    List.rev_map
+      (fun r ->
+        Json.Obj
+          [
+            ("name", Json.String r.br_name);
+            ("wall_s", Json.Float r.br_wall);
+            ("clauses", Json.Int r.br_clauses);
+            ("conflicts", Json.Int r.br_conflicts);
+          ])
+      !records
+  in
+  let top =
+    Json.Obj
+      [
+        ("jobs", Json.Int (jobs_used ()));
+        ("fast", Json.Bool !fast);
+        ("experiments", Json.List experiments);
+        ("metrics", Metrics.to_json ());
+      ]
+  in
   let oc = open_out !json_path in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"fast\": %b,\n  \"experiments\": [\n"
-    (jobs_used ()) !fast;
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"name\": %S, \"wall_s\": %.3f, \"clauses\": %d, \"conflicts\": \
-         %d}%s\n"
-        r.br_name r.br_wall r.br_clauses r.br_conflicts
-        (if i = List.length !records - 1 then "" else ","))
-    (List.rev !records);
-  Printf.fprintf oc "  ]\n}\n";
+  output_string oc (Json.to_string top);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n%!" !json_path
 
-(* Run one experiment; [f] returns the (clauses, conflicts) totals it can
-   attribute (synthesis-only experiments report zeros: their SAT work
-   happens inside per-candidate solver instances that are discarded). *)
+(* Run one experiment inside a span, attributing the global SAT clause and
+   conflict counters to it by delta.  The registry aggregates across every
+   solver instance on every domain, which is what makes the totals real —
+   synthesis experiments burn their SAT work inside per-candidate solvers
+   that are discarded immediately.  The record is written (and the span
+   closed) even if the experiment raises. *)
 let timed name f =
   let t0 = Unix.gettimeofday () in
-  let clauses, conflicts = f () in
-  records :=
-    {
-      br_name = name;
-      br_wall = Unix.gettimeofday () -. t0;
-      br_clauses = clauses;
-      br_conflicts = conflicts;
-    }
-    :: !records
+  let c0 = Metrics.find_counter "sat.clauses" in
+  let k0 = Metrics.find_counter "sat.conflicts" in
+  Fun.protect
+    ~finally:(fun () ->
+      records :=
+        {
+          br_name = name;
+          br_wall = Unix.gettimeofday () -. t0;
+          br_clauses = Metrics.find_counter "sat.clauses" - c0;
+          br_conflicts = Metrics.find_counter "sat.conflicts" - k0;
+        }
+        :: !records)
+    (fun () -> Span.with_span_named ~cat:"bench" ("bench." ^ name) f)
 
 (* ------------------------------------------------------------------ *)
 (* E1 / Fig. 3: synthesis time, HPF-CEGIS vs iterative CEGIS           *)
 (* ------------------------------------------------------------------ *)
 
-let fig3 () =
-  section
-    "Fig. 3 - time to synthesize equivalent programs per original \
-     instruction\n(HPF-CEGIS vs iterative CEGIS; the classical baseline is \
-     E4)";
-  let cases =
-    if !fast then [ "ADD"; "SUB"; "XOR"; "OR" ]
-    else List.map (fun s -> s.Synth.Component.g_name) Synth.Library_.specs
-  in
-  let k = if !fast then 2 else 8 in
-  let seeds = if !fast then [ 1 ] else [ 1; 2; 3 ] in
-  let budget = if !fast then 60.0 else 300.0 in
-  let mk_options seed =
-    {
-      Synth.Engine.default_options with
-      Synth.Engine.k;
-      n_max = 3;
-      seed;
-      time_budget = Some budget;
-      config = { Synth.Cegis.default_config with Synth.Cegis.xlen = 8 };
-    }
-  in
-  Printf.printf
-    "library: 30 components; k=%d programs of >=3 components; multisets of \
-     size 3; xlen=8; budget %.0fs/run; mean over %d seeds\n\n"
-    k budget (List.length seeds);
-  Printf.printf "%-8s %12s %12s %10s %14s\n" "case" "HPF (s)" "iter (s)"
-    "HPF/iter" "HPF multisets";
-  (* One pool task per (case, engine, seed) cell.  Cells are seeded and
-     independent, so the numbers are identical for any jobs value; rows
-     are aggregated and printed in case order afterwards. *)
-  let tasks =
-    List.concat_map
-      (fun case ->
-        List.concat_map
-          (fun seed -> [ (case, `Hpf, seed); (case, `Iter, seed) ])
-          seeds)
-      cases
-  in
-  let run (case, engine, seed) =
-    let spec = Synth.Library_.spec case in
-    let options = mk_options seed in
-    match engine with
-    | `Hpf ->
-        let r =
-          Synth.Hpf.synthesize ~options ~spec ~library:Synth.Library_.default
-            ()
-        in
-        ( case,
-          engine,
-          seed,
-          r.Synth.Engine.elapsed,
-          r.Synth.Engine.stats.Synth.Cegis.multisets_tried,
-          r.Synth.Engine.multisets_total )
-    | `Iter ->
-        let r =
-          Synth.Iterative.synthesize ~options ~spec
-            ~library:Synth.Library_.default
-        in
-        (case, engine, seed, r.Synth.Engine.elapsed, 0, 0)
-  in
-  let cells = Pool.with_pool ~jobs:(jobs_used ()) (fun p -> Pool.map p run tasks) in
-  let rows = ref [] in
-  List.iter
-    (fun case ->
-      let mean engine =
-        let ts =
-          List.filter_map
-            (fun (c, e, _, t, _, _) ->
-              if c = case && e = engine then Some t else None)
-            cells
-        in
-        List.fold_left ( +. ) 0.0 ts /. Float.of_int (List.length ts)
-      in
-      (* Mirror the sequential report: the multiset counters of the last
-         seed's HPF run. *)
-      let tried, total_ms =
-        let last_seed = List.nth seeds (List.length seeds - 1) in
-        match
-          List.find_opt
-            (fun (c, e, s, _, _, _) -> c = case && e = `Hpf && s = last_seed)
-            cells
-        with
-        | Some (_, _, _, _, tried, total) -> (tried, total)
-        | None -> (0, 0)
-      in
-      let th = mean `Hpf and ti = mean `Iter in
-      rows := (case, th, ti) :: !rows;
-      Printf.printf "%-8s %12.2f %12.2f %10.2f %9d/%d\n%!" case th ti
-        (th /. ti) tried total_ms)
-    cases;
-  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 !rows in
-  let th = total (fun (_, a, _) -> a) and ti = total (fun (_, _, b) -> b) in
-  Printf.printf
-    "\noverall: HPF %.1fs vs iterative %.1fs -> %.0f%% time reduction \
-     (paper: ~50%% average)\n"
-    th ti
-    (100.0 *. (1.0 -. (th /. ti)));
-  (0, 0)
+(* The experiment itself lives in Sqed_exp.Fig3, shared with the
+   `sepe fig3` subcommand; the bench keeps the witness phase off so the
+   workload matches earlier bench runs. *)
+let fig3 () = Sqed_exp.Fig3.run ~fast:!fast ~jobs:(jobs_used ()) ~witness:false ()
 
 (* ------------------------------------------------------------------ *)
 (* E2 / Table 1: injected single-instruction bugs                      *)
@@ -285,19 +215,9 @@ let table1 () =
               Printf.sprintf "-  (budget at d=%d)" k
           | Sqed_bmc.Engine.Counterexample _ -> assert false
       in
-      let row =
-        Printf.sprintf "%-6s | %-42s | %-16s | %s"
-          (match Bug.table1_row bug with Some r -> r | None -> "?")
-          (Bug.describe bug) sepe_cell sqed_cell
-      in
-      let clauses =
-        sepe.V.stats.Sqed_bmc.Engine.clauses
-        + sqed.V.stats.Sqed_bmc.Engine.clauses
-      and conflicts =
-        sepe.V.stats.Sqed_bmc.Engine.sat_conflicts
-        + sqed.V.stats.Sqed_bmc.Engine.sat_conflicts
-      in
-      (row, clauses, conflicts)
+      Printf.sprintf "%-6s | %-42s | %-16s | %s"
+        (match Bug.table1_row bug with Some r -> r | None -> "?")
+        (Bug.describe bug) sepe_cell sqed_cell
   in
   let bugs =
     if !fast then [ Bug.Bug_add; Bug.Bug_xor; Bug.Bug_sw ]
@@ -306,10 +226,7 @@ let table1 () =
   let rows =
     Pool.with_pool ~jobs:(jobs_used ()) (fun p -> Pool.map p run_bug bugs)
   in
-  List.iter (fun (row, _, _) -> Printf.printf "%s\n" row) rows;
-  List.fold_left
-    (fun (c, k) (_, clauses, conflicts) -> (c + clauses, k + conflicts))
-    (0, 0) rows
+  List.iter (fun row -> Printf.printf "%s\n" row) rows
 
 (* ------------------------------------------------------------------ *)
 (* E3 / Fig. 4: multiple-instruction bugs                              *)
@@ -342,8 +259,8 @@ let fig4 () =
     if !fast then [ Bug.Bug_fwd_mem_rs1; Bug.Bug_load_use_stall ]
     else Bug.all_multi
   in
-  List.fold_left
-    (fun (cl, co) bug ->
+  List.iter
+    (fun bug ->
       let cfg = bug_config bug base in
       let sqed = V.run ~bug ~method_:V.Sqed ~bound ~time_budget:budget cfg in
       let sepe =
@@ -357,14 +274,8 @@ let fig4 () =
               (Float.of_int l1 /. Float.of_int l2)
         | _ -> ""
       in
-      Printf.printf "%-18s %14s %14s %s\n%!" (Bug.name bug) c1 c2 ratios;
-      ( cl
-        + sqed.V.stats.Sqed_bmc.Engine.clauses
-        + sepe.V.stats.Sqed_bmc.Engine.clauses,
-        co
-        + sqed.V.stats.Sqed_bmc.Engine.sat_conflicts
-        + sepe.V.stats.Sqed_bmc.Engine.sat_conflicts ))
-    (0, 0) bugs
+      Printf.printf "%-18s %14s %14s %s\n%!" (Bug.name bug) c1 c2 ratios)
+    bugs
 
 (* ------------------------------------------------------------------ *)
 (* E4: classical CEGIS fails within budget                             *)
@@ -400,8 +311,7 @@ let classical () =
         | Synth.Brahma.Budget_exhausted -> "budget exhausted"
         | Synth.Brahma.No_program -> "no program")
         elapsed stats.Synth.Cegis.cegis_iterations)
-    [ "SUB"; "XOR" ];
-  (0, 0)
+    [ "SUB"; "XOR" ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: which HPF mechanism buys what                             *)
@@ -446,8 +356,7 @@ let ablation () =
           .Synth.Engine.elapsed
       in
       Printf.printf "%-8s %14.2f %14.2f %14.2f\n%!" case t1 t0 tn)
-    cases;
-  (0, 0)
+    cases
 
 (* ------------------------------------------------------------------ *)
 (* Cross-core: the same QED layer on a different microarchitecture     *)
@@ -459,8 +368,8 @@ let crosscore () =
      verifying a 3-stage core next to the 5-stage one (ADD mutation)";
   let cfg = Config.tiny in
   Printf.printf "%-22s %-24s %s\n" "core" "SEPE-SQED" "SQED";
-  List.fold_left
-    (fun (cl, co) (label, core) ->
+  List.iter
+    (fun (label, core) ->
       let sepe =
         V.run ~core ~bug:Bug.Bug_add ~method_:V.Sepe_sqed ~bound:10
           ~time_budget:600.0 cfg
@@ -471,14 +380,7 @@ let crosscore () =
       in
       Printf.printf "%-22s %-24s %s\n%!" label
         (V.outcome_to_string sepe)
-        (if V.detected sqed then "DETECTED?!" else "-");
-      ( cl
-        + sepe.V.stats.Sqed_bmc.Engine.clauses
-        + sqed.V.stats.Sqed_bmc.Engine.clauses,
-        co
-        + sepe.V.stats.Sqed_bmc.Engine.sat_conflicts
-        + sqed.V.stats.Sqed_bmc.Engine.sat_conflicts ))
-    (0, 0)
+        (if V.detected sqed then "DETECTED?!" else "-"))
     [
       ("5-stage pipeline", Sqed_qed.Qed_top.Five_stage);
       ("3-stage pipeline", Sqed_qed.Qed_top.Three_stage);
@@ -503,8 +405,8 @@ let scaling () =
   in
   Printf.printf "%-26s %-12s %14s %10s\n" "config" "state bits"
     "detect add (s)" "depth";
-  List.fold_left
-    (fun (cl, co) (label, cfg) ->
+  List.iter
+    (fun (label, cfg) ->
       let model = Sqed_qed.Qed_top.edsep ~bug:Bug.Bug_add cfg in
       let stats_str =
         let c = model.Sqed_qed.Qed_top.circuit in
@@ -524,10 +426,8 @@ let scaling () =
               t.Trace.length
         | None -> Printf.sprintf "%14s %10s" "-" "-"
       in
-      Printf.printf "%-26s %-12d %s\n%!" label stats_str cell;
-      ( cl + r.V.stats.Sqed_bmc.Engine.clauses,
-        co + r.V.stats.Sqed_bmc.Engine.sat_conflicts ))
-    (0, 0) cases
+      Printf.printf "%-26s %-12d %s\n%!" label stats_str cell)
+    cases
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -622,15 +522,14 @@ let micro () =
               Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) ns
           | _ -> Printf.printf "  %-32s (no estimate)\n%!" (Test.Elt.name t))
         (Test.elements test))
-    tests;
-  (0, 0)
+    tests
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* Flags: --fast, --jobs N, --json PATH; everything else names an
-     experiment. *)
+  (* Flags: --fast, --jobs N, --json PATH, --no-metrics, --trace PATH,
+     --metrics-json PATH; everything else names an experiment. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--fast" :: rest ->
@@ -647,9 +546,20 @@ let () =
     | "--json" :: path :: rest ->
         json_path := path;
         parse acc rest
+    | "--no-metrics" :: rest ->
+        metrics_on := false;
+        parse acc rest
+    | "--trace" :: path :: rest ->
+        trace_path := Some path;
+        parse acc rest
+    | "--metrics-json" :: path :: rest ->
+        metrics_json_path := Some path;
+        parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] args in
+  Metrics.enabled := !metrics_on;
+  if !trace_path <> None then Span.enabled := true;
   let all =
     [
       ("fig3", fig3);
@@ -676,4 +586,19 @@ let () =
                 "unknown experiment %S (fig3|table1|fig4|classical|micro)\n" n;
               exit 1)
         names);
-  write_json ()
+  write_json ();
+  (match !trace_path with
+  | Some path ->
+      Span.export path;
+      Printf.printf "wrote %s (%d events, %d dropped)\n%!" path
+        (List.length (Span.events ()))
+        (Span.dropped ())
+  | None -> ());
+  match !metrics_json_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Sqed_obs.Json.to_string (Metrics.to_json ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path
+  | None -> ()

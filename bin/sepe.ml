@@ -9,8 +9,83 @@ module V = Sepe_sqed.Verifier
 module Flow = Sepe_sqed.Flow
 module Synth = Sqed_synth
 module Pool = Sqed_par.Pool
+module Metrics = Sqed_obs.Metrics
+module Span = Sqed_obs.Trace
 
 open Cmdliner
+
+(* ---- observability ----------------------------------------------------- *)
+
+(* Every subcommand takes the same three flags; [with_obs] flips the
+   global switches before the command body runs and exports/reports in a
+   [finally] so a raising command still leaves its trace behind. *)
+
+type obs_opts = {
+  obs_metrics : bool;
+  obs_metrics_json : string option;
+  obs_trace : string option;
+}
+
+let obs_t =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "After the command finishes, print the observability report: \
+             per-phase timers, solver counters, gauges and histogram \
+             summaries.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the full metrics snapshot to $(docv) as JSON.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record phase spans and write a Chrome trace_event JSON array \
+             to $(docv) (open in chrome://tracing or Perfetto).")
+  in
+  Term.(
+    const (fun obs_metrics obs_metrics_json obs_trace ->
+        { obs_metrics; obs_metrics_json; obs_trace })
+    $ metrics $ metrics_json $ trace)
+
+let with_obs obs f =
+  if obs.obs_metrics || obs.obs_metrics_json <> None then
+    Metrics.enabled := true;
+  if obs.obs_trace <> None then begin
+    (* Tracing needs the timers too, so the trace and the phase table
+       tell the same story. *)
+    Metrics.enabled := true;
+    Span.enabled := true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (match obs.obs_trace with
+      | Some path ->
+          Span.export path;
+          let n = List.length (Span.events ()) in
+          let d = Span.dropped () in
+          Printf.printf "trace: %d events -> %s%s\n" n path
+            (if d > 0 then Printf.sprintf " (%d dropped)" d else "")
+      | None -> ());
+      (match obs.obs_metrics_json with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Sqed_obs.Json.to_string (Metrics.to_json ()));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "metrics: wrote %s\n" path
+      | None -> ());
+      if obs.obs_metrics then print_string (Metrics.report ()))
+    f
 
 (* ---- shared arguments -------------------------------------------------- *)
 
@@ -46,8 +121,8 @@ let print_solver_stats (st : Sqed_bmc.Engine.stats) =
 let print_worker_stats ws =
   List.iter
     (fun w ->
-      Printf.printf "worker %d: %d tasks, %.2fs busy\n" w.Pool.worker
-        w.Pool.tasks w.Pool.busy)
+      Printf.printf "worker %d: %d tasks, %.2fs busy, %.2fs queue wait\n"
+        w.Pool.worker w.Pool.tasks w.Pool.busy w.Pool.queue_wait)
     ws
 
 let config_of_string = function
@@ -80,7 +155,8 @@ let bug_conv =
 (* ---- sepe bugs ---------------------------------------------------------- *)
 
 let bugs_cmd =
-  let run () =
+  let run obs () =
+    with_obs obs @@ fun () ->
     print_endline "Single-instruction bugs (Table 1):";
     List.iter
       (fun b -> Printf.printf "  %-18s %s\n" (Bug.name b) (Bug.describe b))
@@ -91,7 +167,7 @@ let bugs_cmd =
       Bug.all_multi
   in
   Cmd.v (Cmd.info "bugs" ~doc:"List the mutation catalog.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_t $ const ())
 
 (* ---- sepe synth ---------------------------------------------------------- *)
 
@@ -114,7 +190,8 @@ let synth_cmd =
   let budget =
     Arg.(value & opt float 120.0 & info [ "budget" ] ~doc:"Time budget (seconds).")
   in
-  let run case engine xlen k n_max budget =
+  let run obs case engine xlen k n_max budget =
+    with_obs obs @@ fun () ->
     let spec = Synth.Library_.spec case in
     let options =
       {
@@ -159,7 +236,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize semantically equivalent programs.")
-    Term.(const run $ case $ engine $ xlen $ k $ n_max $ budget)
+    Term.(const run $ obs_t $ case $ engine $ xlen $ k $ n_max $ budget)
 
 (* ---- sepe table ----------------------------------------------------------- *)
 
@@ -170,7 +247,8 @@ let table_cmd =
       & info [ "synthesize" ]
           ~doc:"Produce the table with HPF-CEGIS instead of the built-in one.")
   in
-  let run cfg synthesize jobs stats =
+  let run obs cfg synthesize jobs stats =
+    with_obs obs @@ fun () ->
     let table =
       if synthesize then
         Pool.with_pool ?jobs (fun pool ->
@@ -192,7 +270,7 @@ let table_cmd =
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Print the EDSEP-V equivalence table.")
-    Term.(const run $ config_arg $ synthesize $ jobs_arg $ stats_arg)
+    Term.(const run $ obs_t $ config_arg $ synthesize $ jobs_arg $ stats_arg)
 
 (* ---- sepe verify ------------------------------------------------------------ *)
 
@@ -230,7 +308,9 @@ let verify_cmd =
       & info [ "table" ] ~docv:"FILE"
           ~doc:"Custom EDSEP-V equivalence table (the `sepe table` format).")
   in
-  let run cfg method_ bug bound budget quiet core do_shrink table_file stats =
+  let run obs cfg method_ bug bound budget quiet core do_shrink table_file
+      stats =
+    with_obs obs @@ fun () ->
     let core =
       match core with
       | 3 -> Sqed_qed.Qed_top.Three_stage
@@ -295,8 +375,8 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Run SQED / SEPE-SQED bounded model checking.")
     Term.(
-      const run $ config_arg $ method_ $ bug $ bound $ budget $ quiet $ core
-      $ do_shrink $ table_file $ stats_arg)
+      const run $ obs_t $ config_arg $ method_ $ bug $ bound $ budget $ quiet
+      $ core $ do_shrink $ table_file $ stats_arg)
 
 (* ---- sepe sweep ---------------------------------------------------------- *)
 
@@ -319,7 +399,8 @@ let sweep_cmd =
     Arg.(
       value & opt float 600.0 & info [ "budget" ] ~doc:"Time budget per bug.")
   in
-  let run cfg method_ set bound budget jobs stats =
+  let run obs cfg method_ set bound budget jobs stats =
+    with_obs obs @@ fun () ->
     let method_ =
       match method_ with
       | "sqed" -> V.Sqed
@@ -376,8 +457,8 @@ let sweep_cmd =
          "Run BMC against every bug in the catalog, fanning the checks out \
           over parallel worker domains.")
     Term.(
-      const run $ config_arg $ method_ $ set $ bound $ budget $ jobs_arg
-      $ stats_arg)
+      const run $ obs_t $ config_arg $ method_ $ set $ bound $ budget
+      $ jobs_arg $ stats_arg)
 
 (* ---- sepe export --------------------------------------------------------- *)
 
@@ -402,7 +483,8 @@ let export_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file (default: stdout).")
   in
-  let run cfg format method_ bug out =
+  let run obs cfg format method_ bug out =
+    with_obs obs @@ fun () ->
     let model =
       match method_ with
       | "sqed" -> Sqed_qed.Qed_top.eddi ?bug cfg
@@ -424,7 +506,7 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export the QED verification model as BTOR2 or Verilog.")
-    Term.(const run $ config_arg $ format $ method_ $ bug $ out)
+    Term.(const run $ obs_t $ config_arg $ format $ method_ $ bug $ out)
 
 (* ---- sepe sim -------------------------------------------------------------- *)
 
@@ -439,7 +521,8 @@ let sim_cmd =
       value & opt (some bug_conv) None
       & info [ "bug" ] ~docv:"BUG" ~doc:"Mutation to inject.")
   in
-  let run cfg file bug =
+  let run obs cfg file bug =
+    with_obs obs @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     match Sqed_isa.Asm.parse_program text with
     | Error e ->
@@ -465,7 +548,7 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Run an assembly program on the pipeline and diff the golden model.")
-    Term.(const run $ config_arg $ file $ bug)
+    Term.(const run $ obs_t $ config_arg $ file $ bug)
 
 (* ---- sepe campaign ----------------------------------------------------------- *)
 
@@ -483,7 +566,8 @@ let campaign_cmd =
   let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Random programs.") in
   let len = Arg.(value & opt int 4 & info [ "len" ] ~doc:"Instructions per program.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
-  let run cfg method_ bug runs len seed =
+  let run obs cfg method_ bug runs len seed =
+    with_obs obs @@ fun () ->
     let scheme =
       match method_ with
       | "sqed" -> Sqed_qed.Partition.Eddi
@@ -509,7 +593,7 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Concrete (non-symbolic) QED testing with random programs.")
-    Term.(const run $ config_arg $ method_ $ bug $ runs $ len $ seed)
+    Term.(const run $ obs_t $ config_arg $ method_ $ bug $ runs $ len $ seed)
 
 (* ---- sepe prove ----------------------------------------------------------- *)
 
@@ -528,7 +612,8 @@ let prove_cmd =
   let budget =
     Arg.(value & opt float 600.0 & info [ "budget" ] ~doc:"Time budget (seconds).")
   in
-  let run cfg method_ bug max_k budget =
+  let run obs cfg method_ bug max_k budget =
+    with_obs obs @@ fun () ->
     let model =
       match method_ with
       | "sqed" -> Sqed_qed.Qed_top.eddi ?bug cfg
@@ -556,7 +641,7 @@ let prove_cmd =
   Cmd.v
     (Cmd.info "prove"
        ~doc:"Attempt an unbounded k-induction proof of the QED property.")
-    Term.(const run $ config_arg $ method_ $ bug $ max_k $ budget)
+    Term.(const run $ obs_t $ config_arg $ method_ $ bug $ max_k $ budget)
 
 (* ---- sepe solve ---------------------------------------------------------- *)
 
@@ -571,7 +656,8 @@ let solve_cmd =
       value & opt (some int) None
       & info [ "max-conflicts" ] ~doc:"Conflict budget before giving up.")
   in
-  let run file budget =
+  let run obs file budget =
+    with_obs obs @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     if Filename.check_suffix file ".cnf" then
       match Sqed_sat.Dimacs.parse text with
@@ -608,12 +694,13 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the built-in solvers on an SMT-LIB (QF_BV) or DIMACS file.")
-    Term.(const run $ file $ budget)
+    Term.(const run $ obs_t $ file $ budget)
 
 (* ---- sepe doctor ----------------------------------------------------------- *)
 
 let doctor_cmd =
-  let run () =
+  let run obs () =
+    with_obs obs @@ fun () ->
     let check name f =
       Printf.printf "%-52s %!" (name ^ " ...");
       match f () with
@@ -667,7 +754,40 @@ let doctor_cmd =
   Cmd.v
     (Cmd.info "doctor"
        ~doc:"Self-check the whole stack on the smallest configuration.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_t $ const ())
+
+(* ---- sepe fig3 ------------------------------------------------------------ *)
+
+let fig3_cmd =
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Reduced workload: 4 cases, k=2, one seed (same as `bench fig3 \
+             --fast`).")
+  in
+  let no_witness =
+    Arg.(
+      value & flag
+      & info [ "no-witness" ]
+          ~doc:
+            "Skip the trailing tiny BMC verification (keeps the run \
+             synthesis-only).")
+  in
+  let run obs fast no_witness jobs =
+    with_obs obs @@ fun () ->
+    Sqed_exp.Fig3.run ~fast
+      ~jobs:(Option.value jobs ~default:0)
+      ~witness:(not no_witness) ()
+  in
+  Cmd.v
+    (Cmd.info "fig3"
+       ~doc:
+         "Run the paper's Fig. 3 synthesis experiment (plus a tiny BMC \
+          witness), e.g. with --trace/--metrics to profile the whole \
+          pipeline.")
+    Term.(const run $ obs_t $ fast $ no_witness $ jobs_arg)
 
 let main =
   Cmd.group
@@ -677,7 +797,7 @@ let main =
           equivalent program execution (DAC 2024 reproduction).")
     [
       bugs_cmd; synth_cmd; table_cmd; verify_cmd; sweep_cmd; export_cmd;
-      sim_cmd; campaign_cmd; solve_cmd; prove_cmd; doctor_cmd;
+      sim_cmd; campaign_cmd; solve_cmd; prove_cmd; doctor_cmd; fig3_cmd;
     ]
 
 let () = exit (Cmd.eval main)

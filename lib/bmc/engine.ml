@@ -5,6 +5,18 @@ module Unroll = Sqed_rtl.Unroll
 module Qed_top = Sqed_qed.Qed_top
 module Encode = Sqed_isa.Encode
 
+(* [Span], not [Trace]: this library's own [Trace] module is the
+   counterexample trace. *)
+module Span = Sqed_obs.Trace
+module Metrics = Sqed_obs.Metrics
+
+let sp_depth = Span.kind ~cat:"bmc" "bmc.depth"
+let sp_unroll = Span.kind ~cat:"bmc" "bmc.unroll"
+let sp_base = Span.kind ~cat:"bmc" "bmc.base"
+let sp_step = Span.kind ~cat:"bmc" "bmc.step"
+let m_bounds = Metrics.counter "bmc.bounds_checked"
+let h_depth_us = Metrics.histogram "bmc.depth_solve_us"
+
 type outcome =
   | Counterexample of Trace.t
   | No_counterexample
@@ -93,7 +105,10 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
   let bounds = ref 0 in
   (try
      for k = 1 to bound do
-       Unroll.extend_to u k;
+       (* The whole depth (unrolling included) sits in one span; [Exit]
+          raised on a counterexample still closes it via Fun.protect. *)
+       Span.with_span ~args:[ ("k", string_of_int k) ] sp_depth @@ fun () ->
+       Span.with_span sp_unroll (fun () -> Unroll.extend_to u k);
        let t = k - 1 in
        Solver.assert_ solver
          (Term.eq (Unroll.output u ~step:t "assume_ok") Term.tt);
@@ -104,9 +119,14 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
          Solver.assert_ solver (Term.not_ bad)
        else begin
        incr bounds;
-       (match
-          Solver.check ~assumptions:[ bad ] ?max_conflicts ?deadline solver
-        with
+       Metrics.incr m_bounds;
+       let t0 = if !Metrics.enabled then Unix.gettimeofday () else 0.0 in
+       let r =
+         Solver.check ~assumptions:[ bad ] ?max_conflicts ?deadline solver
+       in
+       if !Metrics.enabled then
+         Metrics.observe_us h_depth_us ((Unix.gettimeofday () -. t0) *. 1e6);
+       (match r with
        | Solver.Sat ->
            result := Counterexample (extract_trace model u solver k);
            raise Exit
@@ -187,9 +207,11 @@ let prove ?max_conflicts ?time_budget ~max_k model =
          (Term.eq (Unroll.output base ~step:t "assume_ok") Term.tt);
        let bad_base = Term.eq (Unroll.output base ~step:t "bad") Term.tt in
        incr bounds;
+       Metrics.incr m_bounds;
        (match
-          Solver.check ~assumptions:[ bad_base ] ?max_conflicts ?deadline
-            base_solver
+          Span.with_span ~args:[ ("k", string_of_int k) ] sp_base (fun () ->
+              Solver.check ~assumptions:[ bad_base ] ?max_conflicts ?deadline
+                base_solver)
         with
        | Solver.Sat ->
            result := Base_cex (extract_trace model base base_solver k);
@@ -208,9 +230,11 @@ let prove ?max_conflicts ?time_budget ~max_k model =
          (Term.eq (Unroll.output step ~step:k "assume_ok") Term.tt);
        let bad_step = Term.eq (Unroll.output step ~step:k "bad") Term.tt in
        incr bounds;
+       Metrics.incr m_bounds;
        (match
-          Solver.check ~assumptions:[ bad_step ] ?max_conflicts ?deadline
-            step_solver
+          Span.with_span ~args:[ ("k", string_of_int k) ] sp_step (fun () ->
+              Solver.check ~assumptions:[ bad_step ] ?max_conflicts ?deadline
+                step_solver)
         with
        | Solver.Unsat ->
            result := Proved k;

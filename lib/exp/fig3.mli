@@ -1,0 +1,9 @@
+(** Paper Fig. 3: HPF-CEGIS vs iterative CEGIS synthesis times.
+
+    Shared by the bench harness and the [sepe fig3] subcommand. *)
+
+val run : ?fast:bool -> ?jobs:int -> ?witness:bool -> unit -> unit
+(** [run ~fast ~jobs ~witness ()] prints the Fig. 3 table.  [jobs <= 0]
+    means [Pool.default_jobs ()].  [witness] appends one tiny BMC
+    verification (SEPE-SQED on the ADD mutation) so traces of this
+    command also exercise the BMC layer. *)

@@ -1,0 +1,24 @@
+(** Minimal JSON printer + checked parser used by the observability layer.
+
+    The parser is intentionally strict: it rejects trailing garbage, raw
+    control characters in strings, and malformed escapes, so it doubles as
+    the validator for emitted trace/metrics files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document. [Error msg] carries a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value bound to [k] when [j] is an object. *)
+
+val to_int_opt : t -> int option

@@ -1,0 +1,76 @@
+(** Global metrics registry: counters, gauges, log-scale histograms and
+    phase timers.
+
+    Counters are sharded per domain (plain-int cells in domain-local
+    storage) so hot-path increments never touch a shared cache line; all
+    other instrument types use [Atomic]. Every observation is gated on
+    {!enabled} — when it is false the cost per event is one boolean load. *)
+
+val enabled : bool ref
+(** Master switch. Instrumented code checks this on every observation;
+    flip it before the workload starts. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Intern a counter by name. Repeated calls with the same name (from any
+    module) return the same handle. Call at module-init time. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val add_always : counter -> int -> unit
+(** Unconditional add, ignoring {!enabled}. Used for bookkeeping that
+    must work even with observability off (e.g. pool worker stats backing
+    [--stats]). *)
+
+val counter_value : counter -> int
+(** Sum across all per-domain stores, including finished domains. *)
+
+val find_counter : string -> int
+(** Value of the named counter, or [0] if never registered. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set : gauge -> int -> unit
+
+(** {1 Histograms}
+
+    Log2 buckets: values [<= 1] land in bucket 0; bucket [i] covers
+    [[2{^i}, 2{^i+1})]. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+val observe_us : histogram -> float -> unit
+val bucket_of : int -> int
+
+(** {1 Timers}
+
+    One (calls, total time) accumulator per span kind, fed by
+    [Trace.with_span]; the basis of the [--metrics] phase table. *)
+
+type timer
+
+val timer : string -> timer
+
+val timer_add : timer -> float -> unit
+(** [timer_add t us] records one call of [us] microseconds.
+    Not gated on {!enabled}; callers guard. *)
+
+(** {1 Snapshot and reporting} *)
+
+val to_json : unit -> Json.t
+val counters_snapshot : unit -> (string * int) list
+val report : unit -> string
+(** Human-readable phase table: timers sorted by total time, then
+    nonzero counters, gauges, and histogram summaries. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). *)

@@ -1,0 +1,222 @@
+(* Span tracer with Chrome trace_event export.
+
+   Spans are recorded as complete ("ph":"X") events: we time the bracket
+   with [Fun.protect] so a raised exception still closes the span, and
+   emit one event at close with the begin timestamp and duration. Each
+   domain appends to its own buffer (registered in a global list that
+   outlives the domain), so the hot path takes no lock; [events] /
+   [export] merge and sort at the end. *)
+
+let enabled = ref false
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : float; (* microseconds since trace epoch *)
+  ev_dur : float; (* microseconds *)
+  ev_tid : int;
+  ev_depth : int;
+  ev_args : (string * string) list;
+}
+
+type kind = { k_name : string; k_cat : string; k_timer : Metrics.timer }
+
+let kind ?(cat = "sepe") name =
+  { k_name = name; k_cat = cat; k_timer = Metrics.timer name }
+
+let name_of k = k.k_name
+
+(* -- per-domain buffers -------------------------------------------------- *)
+
+let max_events_per_domain = 200_000
+
+(* Each domain records into a bounded ring and overwrites its *oldest*
+   events once full (Perfetto's ring mode).  Keeping the newest events
+   matters: a long synthesis phase must not evict the short BMC phase
+   that runs after it from the trace.  [b_count] is total pushes, so
+   [count - cap] is the number overwritten. *)
+type buffer = {
+  b_tid : int;
+  mutable b_ring : event array; (* [||] until the first push *)
+  mutable b_next : int; (* next write slot *)
+  mutable b_count : int; (* total events pushed, may exceed the cap *)
+  mutable b_depth : int;
+}
+
+let buffers_mu = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          b_tid = (Domain.self () :> int);
+          b_ring = [||];
+          b_next = 0;
+          b_count = 0;
+          b_depth = 0;
+        }
+      in
+      Mutex.lock buffers_mu;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mu;
+      b)
+
+let epoch = ref (Unix.gettimeofday ())
+
+let push b ev =
+  if Array.length b.b_ring = 0 then
+    b.b_ring <- Array.make max_events_per_domain ev
+  else b.b_ring.(b.b_next) <- ev;
+  b.b_next <- (b.b_next + 1) mod max_events_per_domain;
+  b.b_count <- b.b_count + 1
+
+let kept_events b =
+  (* In no particular order -- [events] sorts by timestamp anyway. *)
+  if b.b_count >= Array.length b.b_ring then Array.to_list b.b_ring
+  else Array.to_list (Array.sub b.b_ring 0 b.b_count)
+
+(* -- spans --------------------------------------------------------------- *)
+
+let span_with ~name ~cat ~timer ~args f =
+  let metrics_on = !Metrics.enabled in
+  let tracing_on = !enabled in
+  if not (metrics_on || tracing_on) then f ()
+  else begin
+    let buf = if tracing_on then Some (Domain.DLS.get buffer_key) else None in
+    (match buf with Some b -> b.b_depth <- b.b_depth + 1 | None -> ());
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+        if metrics_on then Metrics.timer_add timer dur_us;
+        match buf with
+        | Some b ->
+            b.b_depth <- b.b_depth - 1;
+            push b
+              {
+                ev_name = name;
+                ev_cat = cat;
+                ev_ts = (t0 -. !epoch) *. 1e6;
+                ev_dur = dur_us;
+                ev_tid = b.b_tid;
+                ev_depth = b.b_depth;
+                ev_args = args;
+              }
+        | None -> ())
+      f
+  end
+
+let with_span ?(args = []) k f =
+  span_with ~name:k.k_name ~cat:k.k_cat ~timer:k.k_timer ~args f
+
+let with_span_named ?(cat = "sepe") name f =
+  if not (!Metrics.enabled || !enabled) then f ()
+  else span_with ~name ~cat ~timer:(Metrics.timer name) ~args:[] f
+
+(* -- collection and export ----------------------------------------------- *)
+
+let events () =
+  Mutex.lock buffers_mu;
+  let all = List.concat_map kept_events !buffers in
+  Mutex.unlock buffers_mu;
+  (* Start-time order; at equal timestamps the longer span is the
+     enclosing one and must come first (events are recorded at close, so
+     a parent and its first child can share a start tick). *)
+  List.sort
+    (fun a b ->
+      let c = compare a.ev_ts b.ev_ts in
+      if c <> 0 then c else compare b.ev_dur a.ev_dur)
+    all
+
+let dropped () =
+  Mutex.lock buffers_mu;
+  let d =
+    List.fold_left
+      (fun acc b -> acc + max 0 (b.b_count - Array.length b.b_ring))
+      0 !buffers
+  in
+  Mutex.unlock buffers_mu;
+  d
+
+let event_json ev =
+  Json.Obj
+    [
+      ("name", Json.String ev.ev_name);
+      ("cat", Json.String ev.ev_cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float ev.ev_ts);
+      ("dur", Json.Float ev.ev_dur);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int ev.ev_tid);
+      ( "args",
+        Json.Obj
+          (("depth", Json.String (string_of_int ev.ev_depth))
+          :: List.map (fun (k, v) -> (k, Json.String v)) ev.ev_args) );
+    ]
+
+let export path =
+  let evs = events () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (* A JSON array with one event per line: valid JSON for Perfetto /
+         chrome://tracing, greppable line-by-line. *)
+      output_string oc "[\n";
+      List.iteri
+        (fun i ev ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (Json.to_string (event_json ev)))
+        evs;
+      output_string oc "\n]\n")
+
+let validate_export path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Json.parse text with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok (Json.List evs) ->
+      let check i ev =
+        let str_member k =
+          match Json.member k ev with Some (Json.String s) -> Some s | _ -> None
+        in
+        let num_member k =
+          match Json.member k ev with
+          | Some (Json.Float _ | Json.Int _) -> true
+          | _ -> false
+        in
+        if str_member "name" = None then
+          Error (Printf.sprintf "event %d: missing name" i)
+        else if str_member "ph" <> Some "X" then
+          Error (Printf.sprintf "event %d: ph must be \"X\"" i)
+        else if not (num_member "ts" && num_member "dur") then
+          Error (Printf.sprintf "event %d: missing ts/dur" i)
+        else if
+          match Json.member "tid" ev with
+          | Some j -> Json.to_int_opt j = None
+          | None -> true
+        then Error (Printf.sprintf "event %d: missing tid" i)
+        else Ok ()
+      in
+      let rec go i = function
+        | [] -> Ok (List.length evs)
+        | ev :: rest -> (
+            match check i ev with Ok () -> go (i + 1) rest | Error e -> Error e)
+      in
+      go 0 evs
+  | Ok _ -> Error "top-level value is not an array"
+
+let reset () =
+  Mutex.lock buffers_mu;
+  List.iter
+    (fun b ->
+      b.b_ring <- [||];
+      b.b_next <- 0;
+      b.b_count <- 0;
+      b.b_depth <- 0)
+    !buffers;
+  Mutex.unlock buffers_mu;
+  epoch := Unix.gettimeofday ()

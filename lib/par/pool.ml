@@ -1,8 +1,28 @@
-type slot = { mutable tasks : int; mutable busy : float }
+module Metrics = Sqed_obs.Metrics
 
-type task = slot -> unit
-(** A queued task receives the slot of the domain executing it, so batch
-    bookkeeping inside the task can run after the slot's stats update. *)
+type task = int -> unit
+(** A queued task receives the index of the worker slot executing it. *)
+
+(* Per-worker stats live in the global metrics registry (counters named
+   [par.worker.<i>.*], in microseconds) rather than in a pool-private
+   record, so [--metrics] / [--metrics-json] see them like every other
+   instrument.  They use [add_always]: [--stats] must keep working with
+   observability off.  Each pool captures the counter values at [create]
+   and [stats] reports the delta, giving per-pool numbers even though the
+   registry aggregates across all pools ever created. *)
+
+type worker_counters = {
+  c_tasks : Metrics.counter;
+  c_busy_us : Metrics.counter;
+  c_wait_us : Metrics.counter;
+}
+
+let worker_counters i =
+  {
+    c_tasks = Metrics.counter (Printf.sprintf "par.worker.%d.tasks" i);
+    c_busy_us = Metrics.counter (Printf.sprintf "par.worker.%d.busy_us" i);
+    c_wait_us = Metrics.counter (Printf.sprintf "par.worker.%d.queue_wait_us" i);
+  }
 
 type t = {
   n_jobs : int;
@@ -11,7 +31,8 @@ type t = {
   nonempty : Condition.t;
   mutable closed : bool;
   mutable domains : unit Domain.t list;
-  slots : slot array;
+  counters : worker_counters array;
+  baseline : (int * int * int) array; (* (tasks, busy_us, wait_us) at create *)
 }
 
 let default_jobs () =
@@ -23,7 +44,6 @@ let default_jobs () =
   | None -> Domain.recommended_domain_count ()
 
 let worker p i =
-  let slot = p.slots.(i) in
   let rec loop () =
     Mutex.lock p.mutex;
     while Queue.is_empty p.queue && not p.closed do
@@ -33,7 +53,7 @@ let worker p i =
     else begin
       let task = Queue.pop p.queue in
       Mutex.unlock p.mutex;
-      task slot;
+      task i;
       loop ()
     end
   in
@@ -41,6 +61,7 @@ let worker p i =
 
 let create ?jobs () =
   let n_jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let counters = Array.init n_jobs worker_counters in
   let p =
     {
       n_jobs;
@@ -49,7 +70,14 @@ let create ?jobs () =
       nonempty = Condition.create ();
       closed = false;
       domains = [];
-      slots = Array.init n_jobs (fun _ -> { tasks = 0; busy = 0.0 });
+      counters;
+      baseline =
+        Array.map
+          (fun c ->
+            ( Metrics.counter_value c.c_tasks,
+              Metrics.counter_value c.c_busy_us,
+              Metrics.counter_value c.c_wait_us ))
+          counters;
     }
   in
   p.domains <- List.init (n_jobs - 1) (fun i -> Domain.spawn (fun () -> worker p (i + 1)));
@@ -67,46 +95,55 @@ type batch = {
   mutable failure : (exn * Printexc.raw_backtrace) option;
 }
 
+let to_us dt = int_of_float (dt *. 1e6)
+
 let submit_batch p wrap n =
   check_open p;
   let b =
     { remaining = n; batch_done = Condition.create (); failure = None }
   in
-  let guarded i slot =
+  let guarded i w =
     let t0 = Unix.gettimeofday () in
     let fail =
       try wrap i; None
       with e -> Some (e, Printexc.get_raw_backtrace ())
     in
     let dt = Unix.gettimeofday () -. t0 in
-    (* One critical section: the slot's stats land before the batch-done
-       signal, so a [stats] read after [map]/[iter] returns counts every
-       task of the batch; [stats] itself never reads a torn pair. *)
+    (* Counter writes happen before the batch-done critical section: the
+       mutex release/acquire pair is what makes them visible to a [stats]
+       read issued after [map]/[iter] returns. *)
+    let c = p.counters.(w) in
+    Metrics.add_always c.c_tasks 1;
+    Metrics.add_always c.c_busy_us (to_us dt);
     Mutex.lock p.mutex;
     (match fail with
      | Some _ when b.failure = None -> b.failure <- fail
      | _ -> ());
-    slot.tasks <- slot.tasks + 1;
-    slot.busy <- slot.busy +. dt;
     b.remaining <- b.remaining - 1;
     if b.remaining = 0 then Condition.broadcast b.batch_done;
     Mutex.unlock p.mutex
   in
   if p.n_jobs = 1 then
-    (* Inline: deterministic submission order, no queueing. *)
+    (* Inline: deterministic submission order, no queueing (and hence no
+       queue wait). *)
     for i = 0 to n - 1 do
-      guarded i p.slots.(0)
+      guarded i 0
     done
   else begin
     Mutex.lock p.mutex;
     for i = 0 to n - 1 do
-      Queue.push (guarded i) p.queue
+      let queued_at = Unix.gettimeofday () in
+      Queue.push
+        (fun w ->
+          Metrics.add_always p.counters.(w).c_wait_us
+            (to_us (Unix.gettimeofday () -. queued_at));
+          guarded i w)
+        p.queue
     done;
     Condition.broadcast p.nonempty;
     Mutex.unlock p.mutex;
     (* The caller's domain also works the queue until the batch drains, so
        [jobs = n] means n busy domains, not n workers plus an idle waiter. *)
-    let slot = p.slots.(0) in
     let rec help () =
       Mutex.lock p.mutex;
       if b.remaining = 0 then Mutex.unlock p.mutex
@@ -120,7 +157,7 @@ let submit_batch p wrap n =
       else begin
         let task = Queue.pop p.queue in
         Mutex.unlock p.mutex;
-        task slot;
+        task 0;
         help ()
       end
     in
@@ -145,18 +182,24 @@ let iter p f xs =
   let xs = Array.of_list xs in
   submit_batch p (fun i -> f xs.(i)) (Array.length xs)
 
-type worker_stats = { worker : int; tasks : int; busy : float }
+type worker_stats = {
+  worker : int;
+  tasks : int;
+  busy : float;
+  queue_wait : float;
+}
 
 let stats p =
-  Mutex.lock p.mutex;
-  let out =
-    Array.to_list
-      (Array.mapi
-         (fun i (s : slot) -> { worker = i; tasks = s.tasks; busy = s.busy })
-         p.slots)
-  in
-  Mutex.unlock p.mutex;
-  out
+  List.init p.n_jobs (fun i ->
+      let c = p.counters.(i) in
+      let t0, b0, w0 = p.baseline.(i) in
+      {
+        worker = i;
+        tasks = Metrics.counter_value c.c_tasks - t0;
+        busy = float_of_int (Metrics.counter_value c.c_busy_us - b0) /. 1e6;
+        queue_wait =
+          float_of_int (Metrics.counter_value c.c_wait_us - w0) /. 1e6;
+      })
 
 let shutdown p =
   if not p.closed then begin

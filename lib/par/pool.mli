@@ -37,10 +37,16 @@ type worker_stats = {
   worker : int;  (** 0 is the slot used by inline execution ([jobs = 1]) *)
   tasks : int;  (** tasks completed by this worker *)
   busy : float;  (** wall-clock seconds spent inside tasks *)
+  queue_wait : float;
+      (** seconds tasks spent queued before this worker picked them up;
+          always 0 with [jobs = 1] (inline execution never queues) *)
 }
 
 val stats : t -> worker_stats list
-(** Per-worker task counts and busy time since [create]. *)
+(** Per-worker task counts, busy time and queue wait since [create].
+    The same numbers are visible globally (summed over every pool) as
+    the registry counters [par.worker.<i>.tasks] / [.busy_us] /
+    [.queue_wait_us]; this returns the per-pool delta. *)
 
 val shutdown : t -> unit
 (** Drain outstanding tasks, stop the workers and join their domains.

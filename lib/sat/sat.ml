@@ -3,6 +3,24 @@
    restarts and learnt-clause reduction.  Performance matters here: the
    bit-blasted BMC instances reach hundreds of thousands of clauses. *)
 
+module Metrics = Sqed_obs.Metrics
+module Trace = Sqed_obs.Trace
+
+(* Registry handles, interned once at module init.  Clause counters are
+   bumped at the (relatively cold) clause-push points; the per-search
+   counters (propagations, conflicts, ...) stay in the solver's own
+   mutable fields on the hot path and are flushed into the registry as
+   deltas when [solve] returns — including on exceptions. *)
+let m_clauses = Metrics.counter "sat.clauses"
+let m_learnt_clauses = Metrics.counter "sat.learnt_clauses"
+let m_decisions = Metrics.counter "sat.decisions"
+let m_propagations = Metrics.counter "sat.propagations"
+let m_conflicts = Metrics.counter "sat.conflicts"
+let m_restarts = Metrics.counter "sat.restarts"
+let h_learnt_len = Metrics.histogram "sat.learnt_clause_len"
+let h_restart_conflicts = Metrics.histogram "sat.restart_conflicts"
+let sp_solve = Trace.kind ~cat:"sat" "sat.solve"
+
 type lit = int
 
 let pos v = 2 * v
@@ -355,7 +373,8 @@ let add_clause_internal s lits =
             }
           in
           Cvec.push s.clauses c;
-          watch s c
+          watch s c;
+          Metrics.incr m_clauses
     end
   end
 
@@ -642,6 +661,8 @@ let record_learnt s lits lbd =
       Cvec.push s.learnts c;
       watch s c;
       s.n_learnt_lits <- s.n_learnt_lits + Array.length arr;
+      Metrics.incr m_learnt_clauses;
+      Metrics.observe h_learnt_len (Array.length arr);
       if Array.length arr = 2 then enqueue s asserting (reason_of_lit arr.(1))
       else enqueue s asserting (reason_of_clause c)
 
@@ -704,7 +725,7 @@ type result = Sat | Unsat | Unknown
 
 exception Found of result
 
-let solve ?(assumptions = []) ?max_conflicts ?deadline s =
+let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
   s.has_model <- false;
   if not s.ok then Unsat
   else begin
@@ -793,7 +814,7 @@ let solve ?(assumptions = []) ?max_conflicts ?deadline s =
                        enqueue s l no_reason
                      end
                done
-             with Exit -> ())
+             with Exit -> Metrics.observe h_restart_conflicts !conflicts_here)
           done;
           assert false
         with Found r -> r
@@ -802,6 +823,23 @@ let solve ?(assumptions = []) ?max_conflicts ?deadline s =
       result
     end
   end
+
+let solve ?assumptions ?max_conflicts ?deadline s =
+  if not (!Metrics.enabled || !Trace.enabled) then
+    solve_body ?assumptions ?max_conflicts ?deadline s
+  else
+    Trace.with_span sp_solve (fun () ->
+        let d0 = s.n_decisions
+        and p0 = s.n_propagations
+        and c0 = s.n_conflicts
+        and r0 = s.n_restarts in
+        Fun.protect
+          ~finally:(fun () ->
+            Metrics.add m_decisions (s.n_decisions - d0);
+            Metrics.add m_propagations (s.n_propagations - p0);
+            Metrics.add m_conflicts (s.n_conflicts - c0);
+            Metrics.add m_restarts (s.n_restarts - r0))
+          (fun () -> solve_body ?assumptions ?max_conflicts ?deadline s))
 
 let value s v =
   if not s.has_model then failwith "Sat.value: no model available";

@@ -1,5 +1,12 @@
 module Bv = Sqed_bv.Bv
 module Sat = Sqed_sat.Sat
+module Metrics = Sqed_obs.Metrics
+
+(* Gate counts only tick when a gate is actually emitted — the constant-
+   propagation short-circuits above each counter don't cost clauses, so
+   they shouldn't count. *)
+let m_gates = Metrics.counter "smt.gates"
+let m_cache_hits = Metrics.counter "smt.blast_cache_hits"
 
 type t = {
   sat : Sat.t;
@@ -31,6 +38,7 @@ let and_gate b a c =
   else if a = c then a
   else if a = Sat.negate c then false_lit b
   else begin
+    Metrics.incr m_gates;
     let g = fresh b in
     Sat.add_clause b.sat [ Sat.negate g; a ];
     Sat.add_clause b.sat [ Sat.negate g; c ];
@@ -48,6 +56,7 @@ let xor_gate b a c =
   else if a = c then false_lit b
   else if a = Sat.negate c then true_lit b
   else begin
+    Metrics.incr m_gates;
     let g = fresh b in
     Sat.add_clause b.sat [ Sat.negate g; a; c ];
     Sat.add_clause b.sat [ Sat.negate g; Sat.negate a; Sat.negate c ];
@@ -62,6 +71,7 @@ let mux_gate b sel a c =
   else if is_true b sel then a
   else if is_false b sel then c
   else begin
+    Metrics.incr m_gates;
     let g = fresh b in
     Sat.add_clause b.sat [ Sat.negate sel; Sat.negate a; g ];
     Sat.add_clause b.sat [ Sat.negate sel; a; Sat.negate g ];
@@ -189,7 +199,9 @@ let divider b x y =
 
 let rec blast b (t : Term.t) =
   match Hashtbl.find_opt b.cache t.Term.id with
-  | Some lits -> lits
+  | Some lits ->
+      Metrics.incr m_cache_hits;
+      lits
   | None ->
       let lits =
         match t.Term.node with

@@ -1,8 +1,12 @@
 module Bv = Sqed_bv.Bv
+module Metrics = Sqed_obs.Metrics
 
 (* One bottom-up pass with memoization; rules are applied after children
    are simplified, and the smart constructors re-fold anything that became
    constant. *)
+
+let m_nodes = Metrics.counter "smt.rewrite_nodes"
+let m_hits = Metrics.counter "smt.rewrite_hits"
 
 let is_const t = Term.is_const t
 
@@ -11,6 +15,10 @@ let rec simplify_memo cache t =
   | Some r -> r
   | None ->
       let r = rewrite cache t in
+      Metrics.incr m_nodes;
+      (* Physical inequality is exact here: terms are hash-consed, so a
+         rewrite that changed anything returns a different node. *)
+      if r != t then Metrics.incr m_hits;
       Hashtbl.replace cache t.Term.id r;
       r
 

@@ -1,5 +1,12 @@
 module Bv = Sqed_bv.Bv
 module Sat = Sqed_sat.Sat
+module Metrics = Sqed_obs.Metrics
+module Trace = Sqed_obs.Trace
+
+let sp_check = Trace.kind ~cat:"smt" "smt.check"
+let sp_blast = Trace.kind ~cat:"smt" "smt.bitblast"
+let m_checks = Metrics.counter "smt.check_calls"
+let h_check_us = Metrics.histogram "smt.check_latency_us"
 
 type result = Sat | Unsat | Unknown
 
@@ -16,21 +23,30 @@ let create () =
 let assert_ s t =
   if Term.width t <> 1 then invalid_arg "Solver.assert_: width <> 1";
   s.has_model <- false;
-  Bitblast.assert_bool s.blaster t
+  Trace.with_span sp_blast (fun () -> Bitblast.assert_bool s.blaster t)
 
 let check ?(assumptions = []) ?max_conflicts ?deadline s =
-  s.has_model <- false;
-  let assumption_lits =
-    List.map (fun t -> Bitblast.blast_bool s.blaster t) assumptions
-  in
-  match
-    Sat.solve ~assumptions:assumption_lits ?max_conflicts ?deadline s.sat
-  with
-  | Sat.Sat ->
-      s.has_model <- true;
-      Sat
-  | Sat.Unsat -> Unsat
-  | Sat.Unknown -> Unknown
+  Trace.with_span sp_check (fun () ->
+      s.has_model <- false;
+      Metrics.incr m_checks;
+      let t0 = if !Metrics.enabled then Unix.gettimeofday () else 0.0 in
+      let assumption_lits =
+        Trace.with_span sp_blast (fun () ->
+            List.map (fun t -> Bitblast.blast_bool s.blaster t) assumptions)
+      in
+      let r =
+        match
+          Sat.solve ~assumptions:assumption_lits ?max_conflicts ?deadline s.sat
+        with
+        | Sat.Sat ->
+            s.has_model <- true;
+            Sat
+        | Sat.Unsat -> Unsat
+        | Sat.Unknown -> Unknown
+      in
+      if !Metrics.enabled then
+        Metrics.observe_us h_check_us ((Unix.gettimeofday () -. t0) *. 1e6);
+      r)
 
 let model_var s t =
   if not s.has_model then failwith "Solver.model_var: no model";

@@ -1,6 +1,15 @@
 module Bv = Sqed_bv.Bv
 module Term = Sqed_smt.Term
 module Solver = Sqed_smt.Solver
+module Metrics = Sqed_obs.Metrics
+
+(* Same registry names as Locsynth: [Metrics.counter] interns by name, so
+   both engines share one counter per metric. *)
+let m_iters = Metrics.counter "synth.cegis_iterations"
+let m_solver_calls = Metrics.counter "synth.solver_calls"
+let m_counterexamples = Metrics.counter "synth.counterexamples"
+let m_multisets = Metrics.counter "synth.multisets"
+let m_skeletons = Metrics.counter "synth.skeletons"
 
 type stats = {
   mutable solver_calls : int;
@@ -59,6 +68,7 @@ let initial_examples cfg spec =
 let verify_equivalence cfg ~spec program stats =
   stats.verify_calls <- stats.verify_calls + 1;
   stats.solver_calls <- stats.solver_calls + 1;
+  Metrics.incr m_solver_calls;
   let inputs =
     List.map
       (fun kind -> Term.var (fresh "vin") (input_width cfg kind))
@@ -74,6 +84,7 @@ let verify_equivalence cfg ~spec program stats =
 (* Verification query that also returns the countermodel inputs. *)
 let find_counterexample cfg ~spec program stats =
   stats.solver_calls <- stats.solver_calls + 1;
+  Metrics.incr m_solver_calls;
   let s = Solver.create () in
   let input_vars =
     List.map
@@ -85,7 +96,9 @@ let find_counterexample cfg ~spec program stats =
   Solver.assert_ s (Term.distinct lhs rhs);
   match Solver.check ?max_conflicts:cfg.max_conflicts s with
   | Solver.Unsat -> `Equivalent
-  | Solver.Sat -> `Counterexample (List.map (Solver.model_var s) input_vars)
+  | Solver.Sat ->
+      Metrics.incr m_counterexamples;
+      `Counterexample (List.map (Solver.model_var s) input_vars)
   | Solver.Unknown -> `GaveUp
 
 (* CEGIS over the attribute values of one skeleton. *)
@@ -106,6 +119,7 @@ let concretely_plausible cfg ~spec program =
 
 let solve_skeleton cfg ~spec skeleton stats =
   stats.skeletons_tried <- stats.skeletons_tried + 1;
+  Metrics.incr m_skeletons;
   let widths = Topology.attr_widths skeleton in
   if widths = [] then begin
     let program = Topology.to_program skeleton [] in
@@ -159,6 +173,8 @@ let solve_skeleton cfg ~spec skeleton stats =
       else begin
         stats.cegis_iterations <- stats.cegis_iterations + 1;
         stats.solver_calls <- stats.solver_calls + 1;
+        Metrics.incr m_iters;
+        Metrics.incr m_solver_calls;
         match Solver.check ?max_conflicts:cfg.max_conflicts solver with
         | Solver.Unsat | Solver.Unknown -> None
         | Solver.Sat -> (
@@ -177,6 +193,7 @@ let solve_skeleton cfg ~spec skeleton stats =
 
 let synthesize_multiset cfg ~spec ~multiset stats =
   stats.multisets_tried <- stats.multisets_tried + 1;
+  Metrics.incr m_multisets;
   let skeletons = Topology.enumerate ~spec multiset in
   let rec go acc = function
     | [] -> List.rev acc

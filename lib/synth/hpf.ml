@@ -33,9 +33,12 @@ let bump_exclusion weights multiset =
       Hashtbl.replace weights label (c, e + 1))
     multiset
 
+let g_library_size = Sqed_obs.Metrics.gauge "synth.library_size"
+
 let synthesize ?(alpha = 1) ~options ~spec ~library () =
   let started = Engine.now () in
   let stats = Cegis.mk_stats () in
+  Sqed_obs.Metrics.set g_library_size (List.length library);
   (* Line 2: initialize the weight dictionary. *)
   let weights : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
   List.iter

@@ -1,6 +1,17 @@
 module Bv = Sqed_bv.Bv
 module Term = Sqed_smt.Term
 module Solver = Sqed_smt.Solver
+module Metrics = Sqed_obs.Metrics
+module Trace = Sqed_obs.Trace
+
+let sp_multiset = Trace.kind ~cat:"synth" "synth.multiset"
+let sp_iter = Trace.kind ~cat:"synth" "cegis.iteration"
+let m_iters = Metrics.counter "synth.cegis_iterations"
+let m_solver_calls = Metrics.counter "synth.solver_calls"
+let m_counterexamples = Metrics.counter "synth.counterexamples"
+let m_programs = Metrics.counter "synth.programs_found"
+let m_multisets = Metrics.counter "synth.multisets"
+let h_multiset_size = Metrics.histogram "synth.multiset_size"
 
 type outcome = Complete | Budget_exhausted
 
@@ -27,9 +38,16 @@ let synthesize ~config:cfg ~spec ~components ~require_all_used ~max_programs
          components
   then begin
     stats.Cegis.multisets_tried <- stats.Cegis.multisets_tried + 1;
+    Metrics.incr m_multisets;
     ([], Complete)
   end
   else begin
+  Trace.with_span
+    ~args:[ ("size", string_of_int (List.length components)) ]
+    sp_multiset
+  @@ fun () ->
+  Metrics.incr m_multisets;
+  Metrics.observe h_multiset_size (List.length components);
   let xlen = cfg.Cegis.xlen in
   let comps = Array.of_list components in
   let n = Array.length comps in
@@ -212,45 +230,57 @@ let synthesize ~config:cfg ~spec ~components ~require_all_used ~max_programs
   in
   List.iter add_example (Cegis.initial_examples cfg spec);
   let found = ref [] in
+  (* One guess-verify round, bracketed by its own span.  The recursion
+     lives in [loop] *outside* the span so nesting depth stays flat — a
+     span per iteration, not a span tower. *)
+  let step examples_added =
+    stats.Cegis.cegis_iterations <- stats.Cegis.cegis_iterations + 1;
+    stats.Cegis.solver_calls <- stats.Cegis.solver_calls + 1;
+    Metrics.incr m_iters;
+    Metrics.incr m_solver_calls;
+    match
+      Solver.check ?max_conflicts:cfg.Cegis.max_conflicts ?deadline solver
+    with
+    | Solver.Unsat -> `Done Complete
+    | Solver.Unknown -> `Done Budget_exhausted
+    | Solver.Sat -> (
+        let program = decode_model () in
+        stats.Cegis.solver_calls <- stats.Cegis.solver_calls + 1;
+        stats.Cegis.verify_calls <- stats.Cegis.verify_calls + 1;
+        Metrics.incr m_solver_calls;
+        let s2 = Solver.create () in
+        let input_vars =
+          List.map
+            (fun kind ->
+              Term.var (fresh "lvin") (Component.spec_input_width ~xlen kind))
+            spec.Component.g_inputs
+        in
+        let lhs = Program.sem ~xlen program input_vars in
+        let rhs = spec.Component.g_sem ~xlen input_vars in
+        Solver.assert_ s2 (Term.distinct lhs rhs);
+        match
+          Solver.check ?max_conflicts:cfg.Cegis.max_conflicts ?deadline s2
+        with
+        | Solver.Unsat ->
+            found := program :: !found;
+            Metrics.incr m_programs;
+            block_current_wiring ();
+            `Continue examples_added
+        | Solver.Unknown -> `Done Budget_exhausted
+        | Solver.Sat ->
+            let ex = List.map (Solver.model_var s2) input_vars in
+            add_example ex;
+            Metrics.incr m_counterexamples;
+            `Continue (examples_added + 1))
+  in
   let rec loop examples_added =
     if List.length !found >= max_programs then Complete
     else if examples_added > 8 * cfg.Cegis.max_cegis_iters then Budget_exhausted
     else if over_deadline () then Budget_exhausted
-    else begin
-      stats.Cegis.cegis_iterations <- stats.Cegis.cegis_iterations + 1;
-      stats.Cegis.solver_calls <- stats.Cegis.solver_calls + 1;
-      match
-        Solver.check ?max_conflicts:cfg.Cegis.max_conflicts ?deadline solver
-      with
-      | Solver.Unsat -> Complete
-      | Solver.Unknown -> Budget_exhausted
-      | Solver.Sat -> (
-          let program = decode_model () in
-          stats.Cegis.solver_calls <- stats.Cegis.solver_calls + 1;
-          stats.Cegis.verify_calls <- stats.Cegis.verify_calls + 1;
-          let s2 = Solver.create () in
-          let input_vars =
-            List.map
-              (fun kind ->
-                Term.var (fresh "lvin") (Component.spec_input_width ~xlen kind))
-              spec.Component.g_inputs
-          in
-          let lhs = Program.sem ~xlen program input_vars in
-          let rhs = spec.Component.g_sem ~xlen input_vars in
-          Solver.assert_ s2 (Term.distinct lhs rhs);
-          match
-            Solver.check ?max_conflicts:cfg.Cegis.max_conflicts ?deadline s2
-          with
-          | Solver.Unsat ->
-              found := program :: !found;
-              block_current_wiring ();
-              loop examples_added
-          | Solver.Unknown -> Budget_exhausted
-          | Solver.Sat ->
-              let ex = List.map (Solver.model_var s2) input_vars in
-              add_example ex;
-              loop (examples_added + 1))
-    end
+    else
+      match Trace.with_span sp_iter (fun () -> step examples_added) with
+      | `Done outcome -> outcome
+      | `Continue examples_added -> loop examples_added
   in
   let outcome = loop 0 in
   stats.Cegis.multisets_tried <- stats.Cegis.multisets_tried + 1;

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "sepe_sqed"
     [
+      ("obs", Test_obs.suite);
       ("bv", Test_bv.suite);
       ("sat", Test_sat.suite);
       ("par", Test_par.suite);

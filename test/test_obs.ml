@@ -1,0 +1,280 @@
+(* Tests for the observability layer (Sqed_obs): the hand-rolled checked
+   JSON parser, the sharded metrics registry, and the span tracer.  The
+   registry and tracer are global state shared with the instrumented
+   libraries, so every test runs under [isolated], which resets both and
+   restores the enabled flags to off (their library default). *)
+
+module Json = Sqed_obs.Json
+module Metrics = Sqed_obs.Metrics
+module Trace = Sqed_obs.Trace
+
+let isolated f () =
+  Metrics.reset ();
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.enabled := false;
+      Trace.enabled := false;
+      Metrics.reset ();
+      Trace.reset ())
+    f
+
+(* ---------------------------------------------------------------- *)
+(* JSON                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("n", Json.Int (-42));
+        ("pi", Json.Float 3.25);
+        ("s", Json.String "a\"b\\c\nd\te\r \x01");
+        ("empty", Json.Obj []);
+        ("nested", Json.List [ Json.Obj [ ("k", Json.Int 1) ] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' ->
+      Alcotest.(check string)
+        "print/parse/print fixpoint" (Json.to_string v) (Json.to_string v')
+  | Error e -> Alcotest.fail ("roundtrip parse failed: " ^ e)
+
+let test_json_accept () =
+  let ok s =
+    match Json.parse s with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "%S rejected: %s" s e)
+  in
+  ok "null";
+  ok " [ 1 , 2.5 , -3e2 ] ";
+  ok {|{"a":[],"b":{},"c":"é\n"}|};
+  ok "\"\"";
+  match Json.parse "\"\\u0041\"" with
+  | Ok (Json.String "A") -> ()
+  | _ -> Alcotest.fail "\\u0041 should decode to A"
+
+let test_json_reject () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" s)
+  in
+  bad "";
+  bad "{} trailing";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "\"bad \\q escape\"";
+  bad "\"raw \x01 control\"";
+  bad "tru";
+  bad "[1 2]";
+  bad "--3"
+
+(* ---------------------------------------------------------------- *)
+(* Metrics                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_counter_gating () =
+  let c = Metrics.counter "test.gated" in
+  Metrics.incr c;
+  Alcotest.(check int) "disabled increments are dropped" 0
+    (Metrics.counter_value c);
+  Metrics.enabled := true;
+  Metrics.add c 5;
+  Alcotest.(check int) "enabled increments land" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "find_counter sees the same value" 5
+    (Metrics.find_counter "test.gated");
+  Alcotest.(check int) "unknown counter reads 0" 0
+    (Metrics.find_counter "test.never-registered")
+
+let test_counter_domains () =
+  (* The sharded-store design means concurrent increments from several
+     domains must sum exactly, with no atomics on the hot path. *)
+  Metrics.enabled := true;
+  let c = Metrics.counter "test.domains" in
+  let per_domain = 50_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.incr c
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "4 domains + caller sum exactly" (5 * per_domain)
+    (Metrics.counter_value c)
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "0 -> bucket 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "1 -> bucket 0" 0 (Metrics.bucket_of 1);
+  Alcotest.(check int) "2 -> bucket 1" 1 (Metrics.bucket_of 2);
+  Alcotest.(check int) "3 -> bucket 1" 1 (Metrics.bucket_of 3);
+  Alcotest.(check int) "4 -> bucket 2" 2 (Metrics.bucket_of 4);
+  Alcotest.(check int) "7 -> bucket 2" 2 (Metrics.bucket_of 7);
+  Alcotest.(check int) "8 -> bucket 3" 3 (Metrics.bucket_of 8);
+  Alcotest.(check int) "1024 -> bucket 10" 10 (Metrics.bucket_of 1024);
+  Metrics.enabled := true;
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 7; 8 ];
+  let j = Metrics.to_json () in
+  let hist =
+    match Json.member "histograms" j with
+    | Some hs -> Json.member "test.hist" hs
+    | None -> None
+  in
+  match hist with
+  | None -> Alcotest.fail "test.hist missing from snapshot"
+  | Some hj ->
+      Alcotest.(check (option int))
+        "count" (Some 7)
+        (Option.bind (Json.member "count" hj) Json.to_int_opt);
+      Alcotest.(check (option int))
+        "sum" (Some 25)
+        (Option.bind (Json.member "sum" hj) Json.to_int_opt)
+
+let test_metrics_json_roundtrip () =
+  Metrics.enabled := true;
+  let c = Metrics.counter "test.json.counter" in
+  let g = Metrics.gauge "test.json.gauge" in
+  let t = Metrics.timer "test.json.timer" in
+  Metrics.add c 7;
+  Metrics.set g 31;
+  Metrics.timer_add t 1500.0;
+  let text = Json.to_string (Metrics.to_json ()) in
+  match Json.parse text with
+  | Error e -> Alcotest.fail ("snapshot does not re-parse: " ^ e)
+  | Ok j ->
+      let counter_of name =
+        Option.bind (Json.member "counters" j) (fun cs ->
+            Option.bind (Json.member name cs) Json.to_int_opt)
+      in
+      Alcotest.(check (option int))
+        "counter survives" (Some 7)
+        (counter_of "test.json.counter");
+      Alcotest.(check bool) "gauges present" true
+        (Json.member "gauges" j <> None);
+      Alcotest.(check bool) "timers present" true
+        (Json.member "timers" j <> None)
+
+let test_reset () =
+  Metrics.enabled := true;
+  let c = Metrics.counter "test.reset" in
+  Metrics.add c 9;
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes but keeps the registration" 0
+    (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check int) "counter usable after reset" 1
+    (Metrics.counter_value c)
+
+(* ---------------------------------------------------------------- *)
+(* Tracing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let k_outer = Trace.kind ~cat:"test" "test.outer"
+let k_inner = Trace.kind ~cat:"test" "test.inner"
+let k_boom = Trace.kind ~cat:"test" "test.boom"
+
+let test_span_nesting () =
+  Trace.enabled := true;
+  let r =
+    Trace.with_span k_outer (fun () ->
+        Trace.with_span k_inner (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "with_span returns f's value" 42 r;
+  match Trace.events () with
+  | [ outer; inner ] ->
+      (* Sorted by start time: the outer span opens first even though it
+         closes (and is recorded) last. *)
+      Alcotest.(check string) "outer first" "test.outer" outer.Trace.ev_name;
+      Alcotest.(check string) "inner second" "test.inner" inner.Trace.ev_name;
+      Alcotest.(check int) "outer depth" 0 outer.Trace.ev_depth;
+      Alcotest.(check int) "inner depth" 1 inner.Trace.ev_depth;
+      Alcotest.(check bool) "inner starts inside outer" true
+        (inner.Trace.ev_ts >= outer.Trace.ev_ts);
+      Alcotest.(check bool) "inner ends inside outer" true
+        (inner.Trace.ev_ts +. inner.Trace.ev_dur
+        <= outer.Trace.ev_ts +. outer.Trace.ev_dur)
+  | evs ->
+      Alcotest.fail (Printf.sprintf "expected 2 events, got %d"
+                       (List.length evs))
+
+let test_span_exception_safe () =
+  Trace.enabled := true;
+  (try Trace.with_span k_boom (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (match Trace.events () with
+  | [ ev ] -> Alcotest.(check string) "span recorded" "test.boom"
+                ev.Trace.ev_name
+  | evs ->
+      Alcotest.fail (Printf.sprintf "expected 1 event, got %d"
+                       (List.length evs)));
+  (* Depth bookkeeping must have unwound: a fresh span sits at depth 0. *)
+  Trace.with_span k_outer (fun () -> ());
+  match Trace.events () with
+  | [ _; ev ] -> Alcotest.(check int) "depth unwound" 0 ev.Trace.ev_depth
+  | _ -> Alcotest.fail "expected 2 events"
+
+let test_span_disabled_is_transparent () =
+  Alcotest.(check int) "value passes through" 7
+    (Trace.with_span k_outer (fun () -> 7));
+  Alcotest.(check int) "no events recorded" 0 (List.length (Trace.events ()))
+
+let test_span_feeds_timer () =
+  (* Metrics on, tracing off: spans must feed the phase timer without
+     buffering any events. *)
+  Metrics.enabled := true;
+  Trace.with_span k_outer (fun () -> ());
+  Alcotest.(check int) "no events buffered" 0 (List.length (Trace.events ()));
+  let j = Metrics.to_json () in
+  let calls =
+    Option.bind (Json.member "timers" j) (fun ts ->
+        Option.bind (Json.member "test.outer" ts) (fun t ->
+            Option.bind (Json.member "calls" t) Json.to_int_opt))
+  in
+  Alcotest.(check (option int)) "timer counted the call" (Some 1) calls
+
+let test_export_roundtrip () =
+  Trace.enabled := true;
+  Trace.with_span ~args:[ ("k", "3") ] k_outer (fun () ->
+      Trace.with_span k_inner (fun () -> ()));
+  let path = Filename.temp_file "sepe_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.export path;
+      match Trace.validate_export path with
+      | Ok n -> Alcotest.(check int) "every span exported and re-parsed" 2 n
+      | Error e -> Alcotest.fail ("exported trace invalid: " ^ e))
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick (isolated test_json_roundtrip);
+    Alcotest.test_case "json accepts valid input" `Quick
+      (isolated test_json_accept);
+    Alcotest.test_case "json rejects invalid input" `Quick
+      (isolated test_json_reject);
+    Alcotest.test_case "counter gating" `Quick (isolated test_counter_gating);
+    Alcotest.test_case "counters sum across domains" `Quick
+      (isolated test_counter_domains);
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      (isolated test_histogram_buckets);
+    Alcotest.test_case "metrics snapshot re-parses" `Quick
+      (isolated test_metrics_json_roundtrip);
+    Alcotest.test_case "reset keeps registrations" `Quick
+      (isolated test_reset);
+    Alcotest.test_case "span nesting and ordering" `Quick
+      (isolated test_span_nesting);
+    Alcotest.test_case "spans close on exception" `Quick
+      (isolated test_span_exception_safe);
+    Alcotest.test_case "disabled tracer is transparent" `Quick
+      (isolated test_span_disabled_is_transparent);
+    Alcotest.test_case "spans feed phase timers" `Quick
+      (isolated test_span_feeds_timer);
+    Alcotest.test_case "export validates" `Quick
+      (isolated test_export_roundtrip);
+  ]
