@@ -1,0 +1,55 @@
+(* Post-run check for the @bench-smoke alias: parse the JSON summary the
+   bench harness just wrote (with the checked parser — the same one that
+   validates trace exports) and assert that the SAT preprocessor actually
+   ran and did real work during the experiment.  This is the guard that
+   keeps the `simplify` plumbing honest end-to-end: if the default ever
+   silently flips off, or the counters stop being published, the smoke
+   alias fails instead of the regression surfacing as a mystery slowdown
+   in a full bench run. *)
+
+module Json = Sqed_obs.Json
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n" name
+  else begin
+    Printf.printf "FAIL %s\n" name;
+    incr failures
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_sepe.json" in
+  match Json.parse (read_file path) with
+  | Error e ->
+      Printf.printf "FAIL %s does not parse: %s\n" path e;
+      exit 1
+  | Ok j ->
+      check "summary records simplify=true"
+        (Json.member "simplify" j = Some (Json.Bool true));
+      let counter name =
+        Option.bind (Json.member "metrics" j) (fun m ->
+            Option.bind (Json.member "counters" m) (fun c ->
+                Option.bind (Json.member name c) Json.to_int_opt))
+      in
+      List.iter
+        (fun name ->
+          check
+            (Printf.sprintf "counter %s > 0" name)
+            (match counter name with Some v -> v > 0 | None -> false))
+        [ "sat.simplify.passes"; "sat.simplify.eliminated_vars" ];
+      (match Json.member "experiments" j with
+      | Some (Json.List (_ :: _)) -> check "at least one experiment record" true
+      | _ -> check "at least one experiment record" false);
+      if !failures > 0 then begin
+        Printf.printf "bench-smoke check: %d failure(s)\n" !failures;
+        exit 1
+      end;
+      print_endline "bench-smoke check: all checks passed"

@@ -24,6 +24,7 @@ type obs_opts = {
   obs_metrics : bool;
   obs_metrics_json : string option;
   obs_trace : string option;
+  obs_no_simplify : bool;
 }
 
 let obs_t =
@@ -52,12 +53,24 @@ let obs_t =
             "Record phase spans and write a Chrome trace_event JSON array \
              to $(docv) (open in chrome://tracing or Perfetto).")
   in
+  let no_simplify =
+    Arg.(
+      value & flag
+      & info [ "no-simplify" ]
+          ~doc:
+            "Disable the SAT core's CNF preprocessing (variable \
+             elimination, subsumption, failed-literal probing) for every \
+             solver this command creates.  Mostly for A/B measurements; \
+             the sat.simplify.* counters record what the preprocessor \
+             did when it is on.")
+  in
   Term.(
-    const (fun obs_metrics obs_metrics_json obs_trace ->
-        { obs_metrics; obs_metrics_json; obs_trace })
-    $ metrics $ metrics_json $ trace)
+    const (fun obs_metrics obs_metrics_json obs_trace obs_no_simplify ->
+        { obs_metrics; obs_metrics_json; obs_trace; obs_no_simplify })
+    $ metrics $ metrics_json $ trace $ no_simplify)
 
 let with_obs obs f =
+  if obs.obs_no_simplify then Sqed_smt.Solver.simplify_default := false;
   if obs.obs_metrics || obs.obs_metrics_json <> None then
     Metrics.enabled := true;
   if obs.obs_trace <> None then begin

@@ -63,6 +63,9 @@ let print cnf =
 
 let solve cnf =
   let s = Sat.create () in
+  (* One-shot solving: preprocessing always pays for itself here, and the
+     model-extension machinery keeps the returned assignment complete. *)
+  Sat.set_simplify s true;
   let vars = Array.init cnf.num_vars (fun _ -> Sat.new_var s) in
   List.iter
     (fun clause ->
@@ -73,6 +76,7 @@ let solve cnf =
              if l > 0 then Sat.pos v else Sat.neg_of_var v)
            clause))
     cnf.clauses;
+  Sat.simplify_now s;
   match Sat.solve s with
   | Sat.Sat ->
       (Sat.Sat, Some (Array.map (fun v -> Sat.value s v) vars))

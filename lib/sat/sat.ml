@@ -21,6 +21,17 @@ let h_learnt_len = Metrics.histogram "sat.learnt_clause_len"
 let h_restart_conflicts = Metrics.histogram "sat.restart_conflicts"
 let sp_solve = Trace.kind ~cat:"sat" "sat.solve"
 
+(* Preprocessing counters (see Simplify).  Registered eagerly so they
+   appear in every metrics snapshot — the smoke tests assert on them. *)
+let m_simp_passes = Metrics.counter "sat.simplify.passes"
+let m_simp_elim = Metrics.counter "sat.simplify.eliminated_vars"
+let m_simp_subsumed = Metrics.counter "sat.simplify.subsumed"
+let m_simp_strengthened = Metrics.counter "sat.simplify.strengthened"
+let m_simp_probe = Metrics.counter "sat.simplify.probe_failures"
+let m_simp_units = Metrics.counter "sat.simplify.units"
+let m_simp_resolvents = Metrics.counter "sat.simplify.resolvents"
+let sp_simplify = Trace.kind ~cat:"sat" "sat.simplify"
+
 type lit = int
 
 let pos v = 2 * v
@@ -137,6 +148,16 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_lits : int;
   mutable max_learnts : float;
+  (* Preprocessing state (see Simplify and DESIGN.md "Solver
+     preprocessing").  [frozen] vars are never eliminated; [elim] vars
+     have been resolved away, their defining clauses pushed (newest
+     first) onto [elim_stack] for model extension and restoration. *)
+  mutable frozen : bool array;
+  mutable elim : bool array;
+  mutable elim_stack : (int * lit array list) list;
+  mutable simplify_on : bool;
+  mutable clauses_at_simplify : int;
+  mutable n_solves : int;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -174,6 +195,12 @@ let create () =
     n_restarts = 0;
     n_learnt_lits = 0;
     max_learnts = 0.0;
+    frozen = Array.make 1 false;
+    elim = Array.make 1 false;
+    elim_stack = [];
+    simplify_on = false;
+    clauses_at_simplify = 0;
+    n_solves = 0;
   }
 
 let num_vars s = s.nvars
@@ -261,6 +288,8 @@ let new_var s =
   s.activity <- grow_array s.activity n 0.0;
   s.polarity <- grow_array s.polarity n false;
   s.seen <- grow_array s.seen n false;
+  s.frozen <- grow_array s.frozen n false;
+  s.elim <- grow_array s.elim n false;
   s.heap_pos <- grow_array s.heap_pos n (-1);
   if Array.length s.watches < 2 * n then begin
     let len = max (2 * n) (2 * Array.length s.watches) in
@@ -328,8 +357,14 @@ let watch s c =
 
 exception Early_unsat
 
-let add_clause_internal s lits =
+let rec add_clause_internal s lits =
   if s.ok then begin
+    (* A clause over an eliminated variable re-opens it: restore the
+       stored clauses (transitively) before the new one lands. *)
+    if s.elim_stack <> [] then
+      Array.iter
+        (fun l -> if s.elim.(var_of l) then restore_vars s (var_of l))
+        lits;
     (* Simplify: drop duplicate and false (level-0) literals; detect
        tautologies and satisfied clauses. *)
     let lits = Array.copy lits in
@@ -378,10 +413,60 @@ let add_clause_internal s lits =
     end
   end
 
+(* Un-eliminate [v0]: put its stored clauses back into the live set.
+   Stored clauses may mention variables eliminated after [v0], whose own
+   stored clauses then also come back — the closure is computed first and
+   every member unmarked before any clause is re-added, so the nested
+   [add_clause_internal] calls see no eliminated variables. *)
+and restore_vars s v0 =
+  if s.elim.(v0) then begin
+    let affected = Hashtbl.create 8 in
+    Hashtbl.replace affected v0 ();
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (v, stored) ->
+          if Hashtbl.mem affected v then
+            List.iter
+              (fun lits ->
+                Array.iter
+                  (fun l ->
+                    let w = var_of l in
+                    if s.elim.(w) && not (Hashtbl.mem affected w) then begin
+                      Hashtbl.replace affected w ();
+                      changed := true
+                    end)
+                  lits)
+              stored)
+        s.elim_stack
+    done;
+    let restored, kept =
+      List.partition (fun (v, _) -> Hashtbl.mem affected v) s.elim_stack
+    in
+    s.elim_stack <- kept;
+    List.iter
+      (fun (v, _) ->
+        s.elim.(v) <- false;
+        heap_insert s v)
+      restored;
+    List.iter
+      (fun (_, stored) -> List.iter (add_clause_internal s) stored)
+      restored
+  end
+
 let add_clause_a s lits =
   try add_clause_internal s lits with Early_unsat -> ()
 
 let add_clause s lits = add_clause_a s (Array.of_list lits)
+
+let freeze s v =
+  if v < 0 || v >= s.nvars then invalid_arg "Sat.freeze";
+  (try restore_vars s v with Early_unsat -> ());
+  s.frozen.(v) <- true
+
+let is_eliminated s v = v >= 0 && v < s.nvars && s.elim.(v)
+let set_simplify s b = s.simplify_on <- b
 
 (* -- propagation ------------------------------------------------------ *)
 
@@ -477,6 +562,201 @@ let propagate s =
     end
   done;
   if !confl == none then None else Some !confl
+
+(* -- preprocessing ----------------------------------------------------- *)
+
+(* Run one Simplify pass over the problem clauses and rebuild the solver
+   around the outcome.  Must be called at decision level 0; sets [ok]
+   false if the pass derives the empty clause. *)
+let simplify_body s =
+  (match propagate s with
+  | Some _ -> s.ok <- false
+  | None -> ());
+  if s.ok then begin
+    (* Extract the live problem clauses with level-0 values folded in.
+       After a full level-0 propagation every unsatisfied clause has at
+       least two unassigned literals. *)
+    let input = ref [] in
+    for i = 0 to s.clauses.Cvec.sz - 1 do
+      let c = s.clauses.Cvec.data.(i) in
+      if not c.deleted then begin
+        let sat_ = ref false and n = ref 0 in
+        Array.iter
+          (fun l ->
+            match lit_val s l with
+            | 1 -> sat_ := true
+            | 0 -> ()
+            | _ -> incr n)
+          c.lits;
+        if not !sat_ then begin
+          let a = Array.make !n 0 in
+          let k = ref 0 in
+          Array.iter
+            (fun l ->
+              if lit_val s l = -1 then begin
+                a.(!k) <- l;
+                incr k
+              end)
+            c.lits;
+          input := a :: !input
+        end
+      end
+    done;
+    let o =
+      Simplify.run ~nvars:s.nvars ~frozen:(fun v -> s.frozen.(v)) !input
+    in
+    Metrics.incr m_simp_passes;
+    Metrics.add m_simp_elim o.Simplify.stats.Simplify.eliminated_vars;
+    Metrics.add m_simp_subsumed o.Simplify.stats.Simplify.subsumed;
+    Metrics.add m_simp_strengthened o.Simplify.stats.Simplify.strengthened;
+    Metrics.add m_simp_probe o.Simplify.stats.Simplify.probe_failures;
+    Metrics.add m_simp_units o.Simplify.stats.Simplify.units;
+    Metrics.add m_simp_resolvents o.Simplify.stats.Simplify.resolvents;
+    if o.Simplify.unsat then s.ok <- false
+    else begin
+      List.iter (fun (v, _) -> s.elim.(v) <- true) o.Simplify.eliminated;
+      s.elim_stack <- List.rev_append o.Simplify.eliminated s.elim_stack;
+      (* The whole clause database is rebuilt, so every watch list —
+         including the blocker-only binary lists, which cannot express
+         deletion — is cleared and re-filled. *)
+      Array.iter (fun w -> Cvec.clear w) s.watches;
+      Array.iter (fun (w : Ivec.t) -> w.Ivec.sz <- 0) s.bin_watches;
+      Cvec.clear s.clauses;
+      List.iter
+        (fun lits ->
+          let c = { lits; act = 0.0; lbd = 0; learnt = false; deleted = false } in
+          Cvec.push s.clauses c;
+          watch s c)
+        o.Simplify.clauses;
+      (try
+         List.iter
+           (fun l ->
+             match lit_val s l with
+             | 1 -> ()
+             | 0 ->
+                 s.ok <- false;
+                 raise Exit
+             | _ -> enqueue s l no_reason)
+           o.Simplify.units
+       with Exit -> ());
+      (* Old reason clauses no longer exist; level-0 implications need no
+         justification anyway (analyze never looks at level-0 reasons). *)
+      for i = 0 to s.trail_sz - 1 do
+        s.reason.(var_of s.trail.(i)) <- no_reason
+      done;
+      (* Learnt clauses are implied, so they may stay — unless they
+         mention an eliminated variable (those clauses must disappear
+         with it) or simplify at level 0. *)
+      if s.ok then begin
+        let old = Array.sub s.learnts.Cvec.data 0 s.learnts.Cvec.sz in
+        Cvec.clear s.learnts;
+        (try
+           Array.iter
+             (fun c ->
+               if not c.deleted then begin
+                 let keep = ref true and sat_ = ref false and n = ref 0 in
+                 Array.iter
+                   (fun l ->
+                     if s.elim.(var_of l) then keep := false
+                     else
+                       match lit_val s l with
+                       | 1 -> sat_ := true
+                       | 0 -> ()
+                       | _ -> incr n)
+                   c.lits;
+                 if !keep && not !sat_ then
+                   if !n = 0 then begin
+                     s.ok <- false;
+                     raise Exit
+                   end
+                   else if !n = 1 then
+                     Array.iter
+                       (fun l ->
+                         if lit_val s l = -1 then enqueue s l no_reason)
+                       c.lits
+                   else begin
+                     if !n < Array.length c.lits then begin
+                       let a = Array.make !n 0 in
+                       let k = ref 0 in
+                       Array.iter
+                         (fun l ->
+                           if lit_val s l = -1 then begin
+                             a.(!k) <- l;
+                             incr k
+                           end)
+                         c.lits;
+                       c.lits <- a
+                     end;
+                     Cvec.push s.learnts c;
+                     watch s c
+                   end
+               end)
+             old
+         with Exit -> ())
+      end;
+      (* Re-propagate the whole level-0 trail against the new database:
+         resolvents can propagate under literals that were already set. *)
+      if s.ok then begin
+        s.qhead <- 0;
+        match propagate s with
+        | Some _ -> s.ok <- false
+        | None -> ()
+      end;
+      s.clauses_at_simplify <- s.clauses.Cvec.sz
+    end
+  end
+
+let simplify_now s =
+  if s.ok && s.trail_lim_sz = 0 then
+    Trace.with_span sp_simplify (fun () -> simplify_body s)
+
+(* Minimum new problem clauses since the last pass before [solve]
+   re-simplifies. *)
+let simplify_threshold = 256
+
+(* A pass costs a full rebuild of the clause database, so [solve] only
+   triggers one automatically where the investment amortizes: on solvers
+   that are being *re*-solved incrementally (BMC depth sweeps, the CEGIS
+   guess loop), never on a freshly-built one-shot query — those are
+   dominated by encoding time and die after one search, so stripping
+   their Tseitin plumbing costs more than it saves.  Re-triggering is
+   geometric (the database must grow by a quarter since the last pass)
+   so long incremental runs pay O(log growth) passes, not one per batch.
+   One-shot callers that do want a pass (DIMACS solving, tests) call
+   [simplify_now] explicitly. *)
+let maybe_simplify s =
+  if
+    s.simplify_on && s.ok && s.trail_lim_sz = 0 && s.n_solves > 0
+    && s.clauses.Cvec.sz - s.clauses_at_simplify
+       >= max simplify_threshold (s.clauses_at_simplify / 4)
+  then Trace.with_span sp_simplify (fun () -> simplify_body s)
+
+(* Extend a model of the simplified formula to the eliminated variables.
+   [elim_stack] is newest-first, i.e. reverse elimination order: a stored
+   clause mentions only its own variable, never-eliminated variables
+   (already valued) and later-eliminated variables (walked earlier), so
+   evaluation is total.  Setting each variable to satisfy its stored
+   clauses cannot conflict — the accepted resolvents guarantee that when
+   all other literals of some positive-occurrence clause are false, every
+   negative-occurrence clause is satisfied by another literal. *)
+let extend_model s =
+  List.iter
+    (fun (v, stored) ->
+      s.model.(v) <- false;
+      if
+        List.exists
+          (fun lits ->
+            Array.exists (fun l -> var_of l = v && is_pos l) lits
+            && not
+                 (Array.exists
+                    (fun l ->
+                      let w = var_of l in
+                      w <> v
+                      && (if is_pos l then s.model.(w) else not s.model.(w)))
+                    lits))
+          stored
+      then s.model.(v) <- true)
+    s.elim_stack
 
 (* -- backtracking ------------------------------------------------------ *)
 
@@ -700,7 +980,7 @@ let pick_branch_var s =
   let v = ref (-1) in
   while !v = -1 && s.heap_sz > 0 do
     let cand = heap_pop s in
-    if s.assign.(cand) < 0 then v := cand
+    if s.assign.(cand) < 0 && not s.elim.(cand) then v := cand
   done;
   !v
 
@@ -730,9 +1010,14 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
   if not s.ok then Unsat
   else begin
     let assumptions = Array.of_list assumptions in
+    (* Assumption variables must survive elimination: restore any that an
+       earlier pass removed and pin them against future passes. *)
+    Array.iter (fun a -> freeze s (var_of a)) assumptions;
     (match propagate s with
     | Some _ -> s.ok <- false
     | None -> ());
+    maybe_simplify s;
+    s.n_solves <- s.n_solves + 1;
     if not s.ok then Unsat
     else begin
       let restart_limit = ref 0.0 in
@@ -805,6 +1090,7 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                          for i = 0 to s.nvars - 1 do
                            s.model.(i) <- s.assign.(i) = 1
                          done;
+                         extend_model s;
                          s.has_model <- true;
                          raise (Found Sat)
                        end;

@@ -37,6 +37,40 @@ val add_clause : t -> lit list -> unit
 
 val add_clause_a : t -> lit array -> unit
 
+(** {2 Preprocessing}
+
+    A SatELite-style simplifier ({!Simplify}: bounded variable
+    elimination, subsumption, self-subsuming resolution, failed-literal
+    probing) can run between [solve] calls.  It is off by default on a
+    raw solver; {!Sqed_smt.Solver} turns it on.  Eliminated variables are
+    transparent to the caller: models are extended over them, and adding
+    a clause (or assuming a literal) that mentions one restores its
+    defining clauses first, so the incremental API keeps its meaning. *)
+
+val set_simplify : t -> bool -> unit
+(** Enable/disable automatic simplification.  When enabled, [solve] runs
+    a pass on solvers that are being re-solved incrementally, once enough
+    new problem clauses have arrived since the last pass (the database
+    must also have grown geometrically, so long runs pay few passes).
+    The very first [solve] of a fresh instance never simplifies — one-shot
+    queries are encoding-bound and a pass would cost more than it saves;
+    use {!simplify_now} to force one. *)
+
+val simplify_now : t -> unit
+(** Run one simplification pass immediately (no-op unless the solver is
+    at decision level 0 and still satisfiable-so-far). *)
+
+val freeze : t -> int -> unit
+(** Exempt a variable from elimination, restoring it first if a previous
+    pass eliminated it.  Callers freeze variables whose clauses must
+    survive verbatim — e.g. the bit-blaster freezes every literal it
+    caches, because future blasts emit new clauses over those literals.
+    Assumption variables are frozen automatically by [solve]. *)
+
+val is_eliminated : t -> int -> bool
+(** Has the variable been eliminated (and not restored)?  Mostly for
+    tests and debugging. *)
+
 type result = Sat | Unsat | Unknown
 
 val solve :

@@ -1,0 +1,52 @@
+(** SatELite-style CNF preprocessing: bounded variable elimination,
+    subsumption / self-subsuming resolution, and failed-literal probing on
+    the binary implication graph.
+
+    [run] consumes a clause set (literals in the solver's [2*var (+1)]
+    encoding) and returns an equisatisfiable simplified set together with
+    everything the caller needs to stay sound:
+
+    - [units]: literals forced true at top level (by strengthening chains,
+      failed-literal probes, or unit resolvents);
+    - [eliminated]: for every variable removed by elimination, the clauses
+      that mentioned it at removal time, in elimination order — a model of
+      the simplified set extends to a model of the original by walking
+      this list {e newest-first} and picking each variable's value from
+      its stored clauses (see {!Sat}'s model extension);
+    - [unsat]: the preprocessor itself derived the empty clause.
+
+    Variables for which [frozen] holds are never eliminated (but still
+    benefit from subsumption, strengthening and probing): the caller
+    freezes variables whose clauses must survive verbatim — bit-blaster
+    cache outputs that future incremental blasts will reference, and
+    assumption variables.  All transformations are standard and preserve
+    equisatisfiability; elimination additionally requires the stored
+    clauses for model reconstruction.
+
+    The pass is budgeted (bounded occurrence counts for elimination,
+    capped subset checks, capped probe visits) so its cost stays linear-ish
+    in the formula size; it is designed to run in a few milliseconds on the
+    ~10k-clause bit-blasted CEGIS/BMC queries this repository issues. *)
+
+type stats = {
+  eliminated_vars : int;
+  subsumed : int;  (** clauses removed by backward subsumption *)
+  strengthened : int;  (** literals removed by self-subsuming resolution *)
+  probe_failures : int;  (** failed literals found by binary-graph probing *)
+  units : int;  (** top-level assignments discovered by the pass *)
+  resolvents : int;  (** clauses added by variable elimination *)
+}
+
+type outcome = {
+  clauses : int array list;  (** surviving clauses (each length >= 2) *)
+  units : int list;  (** literals true at top level *)
+  eliminated : (int * int array list) list;
+      (** (var, clauses containing it when eliminated), oldest first *)
+  unsat : bool;
+  stats : stats;
+}
+
+val run : nvars:int -> frozen:(int -> bool) -> int array list -> outcome
+(** Simplify the clause set.  Input clauses may be unsorted, contain
+    duplicate literals, tautologies or units; literals must be
+    [< 2*nvars].  The result mentions no eliminated variable. *)

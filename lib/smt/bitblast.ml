@@ -15,10 +15,21 @@ type t = {
   tlit : Sat.lit;
 }
 
+(* Every literal the blaster hands out (cached term outputs, declared
+   variables, the constant-true literal) must survive the SAT core's
+   preprocessing verbatim: a later incremental blast will emit new
+   clauses over it, and elimination would have removed its defining
+   clauses.  Freezing at cache-insertion time exempts exactly those
+   literals; the Tseitin-internal gates (adder carries, partial products,
+   shifter muxes) are never cached and remain fair game. *)
+let freeze_lits sat lits =
+  Array.iter (fun l -> Sat.freeze sat (Sat.var_of l)) lits
+
 let create sat =
   let v = Sat.new_var sat in
   let tlit = Sat.pos v in
   Sat.add_clause sat [ tlit ];
+  Sat.freeze sat v;
   { sat; cache = Hashtbl.create 1024; vars = Hashtbl.create 64; tlit }
 
 let true_lit b = b.tlit
@@ -211,6 +222,7 @@ let rec blast b (t : Term.t) =
             | None ->
                 let lits = Array.init w (fun _ -> fresh b) in
                 Hashtbl.add b.vars (name, w) lits;
+                freeze_lits b.sat lits;
                 lits)
         | Term.Const v -> const_vec b v
         | Term.Not a -> negate_vec (blast b a)
@@ -255,6 +267,7 @@ let rec blast b (t : Term.t) =
       in
       assert (Array.length lits = t.Term.width);
       Hashtbl.add b.cache t.Term.id lits;
+      freeze_lits b.sat lits;
       lits
 
 let blast_bool b t =

@@ -16,8 +16,15 @@ type t = {
   mutable has_model : bool;
 }
 
-let create () =
+(* CNF preprocessing is on for every solver unless the caller opts out —
+   [~simplify:false] per instance, or the [simplify_default] switch for a
+   whole run (the `--no-simplify` CLI/bench flag flips it). *)
+let simplify_default = ref true
+
+let create ?simplify () =
   let sat = Sat.create () in
+  let on = match simplify with Some b -> b | None -> !simplify_default in
+  Sat.set_simplify sat on;
   { sat; blaster = Bitblast.create sat; has_model = false }
 
 let assert_ s t =

@@ -2,7 +2,14 @@
 
     A solver instance accumulates assertions (incremental: more assertions
     may be added after a [check]).  Checking under assumptions does not
-    retract anything. *)
+    retract anything.
+
+    Every instance runs the SAT core's CNF preprocessor ({!Sqed_sat.Simplify})
+    by default: the bit-blaster freezes each literal it caches, so the
+    simplifier only ever eliminates Tseitin-internal gate variables and
+    incremental use (more assertions, assumptions, further [check]s) stays
+    sound.  Opt out per instance with [~simplify:false] or globally with
+    {!simplify_default}. *)
 
 module Bv = Sqed_bv.Bv
 
@@ -10,7 +17,11 @@ type t
 
 type result = Sat | Unsat | Unknown
 
-val create : unit -> t
+val simplify_default : bool ref
+(** Default for [create]'s [?simplify] (initially [true]); the CLI and
+    bench `--no-simplify` flag sets it to [false] for the whole run. *)
+
+val create : ?simplify:bool -> unit -> t
 
 val assert_ : t -> Term.t -> unit
 (** Assert a width-1 term. *)

@@ -4,6 +4,7 @@ let () =
       ("obs", Test_obs.suite);
       ("bv", Test_bv.suite);
       ("sat", Test_sat.suite);
+      ("simplify", Test_simplify.suite);
       ("par", Test_par.suite);
       ("smt", Test_smt.suite);
       ("rtl", Test_rtl.suite);

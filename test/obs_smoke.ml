@@ -72,8 +72,8 @@ let () =
   List.iter
     (fun n -> check ("span " ^ n) (List.mem n names))
     [
-      "sat.solve"; "smt.check"; "smt.bitblast"; "synth.multiset";
-      "cegis.iteration"; "bmc.depth"; "bmc.unroll";
+      "sat.solve"; "sat.simplify"; "smt.check"; "smt.bitblast";
+      "synth.multiset"; "cegis.iteration"; "bmc.depth"; "bmc.unroll";
     ];
 
   (* ...and the registry must hold real solver work. *)
@@ -82,6 +82,10 @@ let () =
     [
       "sat.clauses"; "sat.propagations"; "sat.conflicts"; "smt.gates";
       "smt.check_calls"; "synth.cegis_iterations"; "bmc.bounds_checked";
+      (* Preprocessing is on by default, and any bit-blasted problem has
+         Tseitin-internal gates to eliminate — the simplifier must have
+         both run and done real work. *)
+      "sat.simplify.passes"; "sat.simplify.eliminated_vars";
     ];
 
   (* The metrics snapshot must itself be valid JSON. *)

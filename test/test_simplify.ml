@@ -1,0 +1,268 @@
+(* Differential fuzz for the CNF preprocessor (Sqed_sat.Simplify and its
+   integration into the CDCL core): a simplified solver must return the
+   same SAT/UNSAT verdict as an unsimplified one on random CNFs and random
+   QF_BV terms, SAT models must still satisfy the *original* clauses
+   (exercising model extension over eliminated variables), and the
+   incremental API — adding clauses or assuming literals over possibly
+   eliminated variables — must keep its meaning (exercising restore). *)
+
+module Sat = Sqed_sat.Sat
+module Simplify = Sqed_sat.Simplify
+module Smt = Sqed_smt
+
+type cnf = int list list (* positive ints 1..n, negative for negated *)
+
+let cnf_print cnf =
+  String.concat " & "
+    (List.map
+       (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+       cnf)
+
+let gen_cnf ~nvars ~max_len : cnf QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_lit =
+    map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound (nvars - 1)) bool
+  in
+  int_range 5 60 >>= fun ncl ->
+  list_size (return ncl) (list_size (int_range 1 max_len) gen_lit)
+
+let load ~simplify ~nvars (cnf : cnf) =
+  let s = Sat.create () in
+  Sat.set_simplify s simplify;
+  let v = Array.init nvars (fun _ -> Sat.new_var s) in
+  List.iter
+    (fun clause ->
+      Sat.add_clause s
+        (List.map
+           (fun l ->
+             let var = v.(abs l - 1) in
+             if l > 0 then Sat.pos var else Sat.neg_of_var var)
+           clause))
+    cnf;
+  (s, v)
+
+let model_ok s v (cnf : cnf) =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l ->
+          let b = Sat.value s v.(abs l - 1) in
+          if l > 0 then b else not b)
+        clause)
+    cnf
+
+(* Verdict + original-model agreement, with the pass forced so that small
+   instances exercise it too (the automatic trigger needs hundreds of
+   clauses). *)
+let differential ~nvars (cnf : cnf) =
+  let plain, _ = load ~simplify:false ~nvars cnf in
+  let simp, v = load ~simplify:true ~nvars cnf in
+  Sat.simplify_now simp;
+  let r_plain = Sat.solve plain and r_simp = Sat.solve simp in
+  r_plain = r_simp
+  && (r_simp <> Sat.Sat || model_ok simp v cnf)
+
+(* Same under assumptions: assumption variables may have been eliminated
+   by the forced pass and must be restored + frozen by [solve]. *)
+let differential_assumptions ~nvars (cnf, assumed) =
+  let to_lit v l =
+    if l > 0 then Sat.pos v.(abs l - 1) else Sat.neg_of_var v.(abs l - 1)
+  in
+  let plain, vp = load ~simplify:false ~nvars cnf in
+  let simp, vs = load ~simplify:true ~nvars cnf in
+  Sat.simplify_now simp;
+  let r_plain = Sat.solve ~assumptions:(List.map (to_lit vp) assumed) plain in
+  let r_simp = Sat.solve ~assumptions:(List.map (to_lit vs) assumed) simp in
+  r_plain = r_simp
+  && (r_simp <> Sat.Sat
+     || (model_ok simp vs cnf
+        && List.for_all
+             (fun l ->
+               let b = Sat.value simp vs.(abs l - 1) in
+               if l > 0 then b else not b)
+             assumed))
+
+(* Incremental use: solve (with a pass), then add clauses that may
+   mention eliminated variables, then solve again — against a fresh
+   unsimplified solver on the union. *)
+let differential_incremental ~nvars (cnf1, cnf2) =
+  let simp, v = load ~simplify:true ~nvars cnf1 in
+  Sat.simplify_now simp;
+  let _ = Sat.solve simp in
+  List.iter
+    (fun clause ->
+      Sat.add_clause simp
+        (List.map
+           (fun l ->
+             let var = v.(abs l - 1) in
+             if l > 0 then Sat.pos var else Sat.neg_of_var var)
+           clause))
+    cnf2;
+  Sat.simplify_now simp;
+  let r_simp = Sat.solve simp in
+  let plain, _ = load ~simplify:false ~nvars (cnf1 @ cnf2) in
+  let r_plain = Sat.solve plain in
+  r_plain = r_simp && (r_simp <> Sat.Sat || model_ok simp v (cnf1 @ cnf2))
+
+(* -- unit tests --------------------------------------------------------- *)
+
+let test_standalone_run () =
+  (* (a | b) & (~a | b) & (~b | c): b is forced by resolution probing or
+     elimination; c must follow in any model.  Check the raw outcome
+     invariants: no eliminated variable in the output clauses. *)
+  let pos v = 2 * v and neg v = (2 * v) + 1 in
+  let o =
+    Simplify.run ~nvars:3
+      ~frozen:(fun _ -> false)
+      [ [| pos 0; pos 1 |]; [| neg 0; pos 1 |]; [| neg 1; pos 2 |] ]
+  in
+  Alcotest.(check bool) "not unsat" false o.Simplify.unsat;
+  let elim_vars = List.map fst o.Simplify.eliminated in
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun l ->
+          Alcotest.(check bool) "no eliminated var in clauses" false
+            (List.mem (l lsr 1) elim_vars))
+        c)
+    o.Simplify.clauses;
+  Alcotest.(check bool) "did something" true
+    (o.Simplify.stats.Simplify.eliminated_vars > 0
+    || o.Simplify.stats.Simplify.units > 0)
+
+let test_frozen_not_eliminated () =
+  (* A pure chain would be eliminated wholesale; freezing pins the middle
+     variable. *)
+  let s = Sat.create () in
+  let v = Array.init 5 (fun _ -> Sat.new_var s) in
+  for i = 0 to 3 do
+    Sat.add_clause s [ Sat.neg_of_var v.(i); Sat.pos v.(i + 1) ]
+  done;
+  Sat.freeze s v.(2);
+  Sat.set_simplify s true;
+  Sat.simplify_now s;
+  Alcotest.(check bool) "frozen survives" false (Sat.is_eliminated s v.(2));
+  Alcotest.check
+    (Alcotest.testable
+       (Fmt.of_to_string (function
+         | Sat.Sat -> "SAT"
+         | Sat.Unsat -> "UNSAT"
+         | Sat.Unknown -> "UNKNOWN"))
+       ( = ))
+    "still sat" Sat.Sat (Sat.solve s)
+
+let test_restore_on_add () =
+  (* Eliminate a gate-style variable, then constrain it directly: the
+     stored clauses must come back, and the combination must be UNSAT. *)
+  let s = Sat.create () in
+  let a = Sat.new_var s and g = Sat.new_var s and b = Sat.new_var s in
+  (* g <-> (a & b) *)
+  Sat.add_clause s [ Sat.neg_of_var g; Sat.pos a ];
+  Sat.add_clause s [ Sat.neg_of_var g; Sat.pos b ];
+  Sat.add_clause s [ Sat.pos g; Sat.neg_of_var a; Sat.neg_of_var b ];
+  Sat.set_simplify s true;
+  Sat.simplify_now s;
+  (* Whether or not g was eliminated, asserting g & ~a must now be UNSAT. *)
+  Sat.add_clause s [ Sat.pos g ];
+  Sat.add_clause s [ Sat.neg_of_var a ];
+  Alcotest.(check bool) "restored semantics" true (Sat.solve s = Sat.Unsat)
+
+(* -- QF_BV differential ------------------------------------------------- *)
+
+let random_term rng vars depth width =
+  let module Term = Smt.Term in
+  let rec go depth =
+    if depth = 0 then
+      match Random.State.int rng 3 with
+      | 0 -> Term.var (List.nth vars (Random.State.int rng (List.length vars))) width
+      | 1 -> Term.const (Sqed_bv.Bv.of_int ~width (Random.State.int rng 256))
+      | _ -> Term.var (List.nth vars (Random.State.int rng (List.length vars))) width
+    else
+      let a = go (depth - 1) and b = go (depth - 1) in
+      match Random.State.int rng 9 with
+      | 0 -> Term.add a b
+      | 1 -> Term.sub a b
+      | 2 -> Term.and_ a b
+      | 3 -> Term.or_ a b
+      | 4 -> Term.xor a b
+      | 5 -> Term.not_ a
+      | 6 -> Term.mul a b
+      | 7 -> Term.ite (Term.eq a b) a b
+      | _ -> Term.shl a (Term.const (Sqed_bv.Bv.of_int ~width (Random.State.int rng width)))
+  in
+  go depth
+
+let qfbv_differential seed =
+  let module Term = Smt.Term in
+  let module Solver = Smt.Solver in
+  let rng = Random.State.make [| seed |] in
+  let width = 6 in
+  let vars = [ "x"; "y"; "z" ] in
+  let t1 = random_term rng vars 3 width and t2 = random_term rng vars 3 width in
+  let prop = Term.eq t1 t2 in
+  let plain = Solver.create ~simplify:false () in
+  let simp = Solver.create ~simplify:true () in
+  Solver.assert_ plain prop;
+  Solver.assert_ simp prop;
+  let r_plain = Solver.check plain and r_simp = Solver.check simp in
+  (match (r_plain, r_simp) with
+  | Solver.Sat, Solver.Sat ->
+      (* The model must actually satisfy the asserted property. *)
+      Sqed_bv.Bv.to_int (Solver.model_value simp prop) = 1
+  | Solver.Unsat, Solver.Unsat -> true
+  | _ -> false)
+  (* And checking under assumptions after the first check stays sound. *)
+  &&
+  let assum = Term.eq (Term.var "x" width) (Term.var "y" width) in
+  Solver.check ~assumptions:[ assum ] plain
+  = Solver.check ~assumptions:[ assum ] simp
+
+let props =
+  let arb ~nvars ~max_len =
+    QCheck.make ~print:cnf_print (gen_cnf ~nvars ~max_len)
+  in
+  let arb_pair ~nvars ~max_len =
+    QCheck.make
+      ~print:(fun (a, b) -> cnf_print a ^ " ++ " ^ cnf_print b)
+      QCheck.Gen.(pair (gen_cnf ~nvars ~max_len) (gen_cnf ~nvars ~max_len))
+  in
+  let arb_assumed ~nvars ~max_len =
+    QCheck.make
+      ~print:(fun (c, a) ->
+        cnf_print c ^ " assuming " ^ String.concat "," (List.map string_of_int a))
+      QCheck.Gen.(
+        pair (gen_cnf ~nvars ~max_len)
+          (list_size (int_range 0 3)
+             (map2
+                (fun v s -> if s then v + 1 else -(v + 1))
+                (int_bound (nvars - 1)) bool)))
+  in
+  [
+    QCheck.Test.make ~name:"simplified = plain (binary-heavy)" ~count:300
+      (arb ~nvars:10 ~max_len:2)
+      (fun cnf -> differential ~nvars:10 cnf);
+    QCheck.Test.make ~name:"simplified = plain (mixed)" ~count:300
+      (arb ~nvars:14 ~max_len:4)
+      (fun cnf -> differential ~nvars:14 cnf);
+    QCheck.Test.make ~name:"simplified = plain (wide clauses)" ~count:150
+      (arb ~nvars:20 ~max_len:7)
+      (fun cnf -> differential ~nvars:20 cnf);
+    QCheck.Test.make ~name:"assumptions over eliminated vars" ~count:300
+      (arb_assumed ~nvars:12 ~max_len:3)
+      (fun x -> differential_assumptions ~nvars:12 x);
+    QCheck.Test.make ~name:"incremental adds over eliminated vars" ~count:200
+      (arb_pair ~nvars:12 ~max_len:3)
+      (fun x -> differential_incremental ~nvars:12 x);
+    QCheck.Test.make ~name:"qf_bv: simplified = plain" ~count:60
+      (QCheck.make ~print:string_of_int QCheck.Gen.nat)
+      qfbv_differential;
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "standalone outcome invariants" `Quick
+      test_standalone_run;
+    Alcotest.test_case "frozen vars survive" `Quick test_frozen_not_eliminated;
+    Alcotest.test_case "restore on direct add" `Quick test_restore_on_add;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
