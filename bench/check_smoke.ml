@@ -34,6 +34,8 @@ let () =
   | Ok j ->
       check "summary records simplify=true"
         (Json.member "simplify" j = Some (Json.Bool true));
+      check "summary records aig=true"
+        (Json.member "aig" j = Some (Json.Bool true));
       let counter name =
         Option.bind (Json.member "metrics" j) (fun m ->
             Option.bind (Json.member "counters" m) (fun c ->
@@ -44,7 +46,14 @@ let () =
           check
             (Printf.sprintf "counter %s > 0" name)
             (match counter name with Some v -> v > 0 | None -> false))
-        [ "sat.simplify.passes"; "sat.simplify.eliminated_vars" ];
+        [
+          "sat.simplify.passes"; "sat.simplify.eliminated_vars";
+          (* The AIG gate layer is on by default: nodes were built, the
+             structural hash answered repeats, and polarity-aware
+             conversion skipped clause halves. *)
+          "smt.aig.nodes"; "smt.aig.struct_hits"; "smt.aig.rewrites";
+          "smt.aig.pg_skipped_clauses";
+        ];
       (match Json.member "experiments" j with
       | Some (Json.List (_ :: _)) -> check "at least one experiment record" true
       | _ -> check "at least one experiment record" false);

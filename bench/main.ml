@@ -74,6 +74,7 @@ let write_json () =
         ("jobs", Json.Int (jobs_used ()));
         ("fast", Json.Bool !fast);
         ("simplify", Json.Bool !Sqed_smt.Solver.simplify_default);
+        ("aig", Json.Bool !Sqed_smt.Solver.aig_default);
         ("experiments", Json.List experiments);
         ("metrics", Metrics.to_json ());
       ]
@@ -530,8 +531,8 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* Flags: --fast, --jobs N, --json PATH, --no-metrics, --no-simplify,
-     --trace PATH, --metrics-json PATH; everything else names an
-     experiment. *)
+     --no-aig, --trace PATH, --metrics-json PATH; everything else names
+     an experiment. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--fast" :: rest ->
@@ -541,6 +542,11 @@ let () =
         (* A/B switch for the SAT core's CNF preprocessor; the
            sat.simplify.* counters in the JSON record the on-side. *)
         Sqed_smt.Solver.simplify_default := false;
+        parse acc rest
+    | "--no-aig" :: rest ->
+        (* A/B switch for the bit-blaster's AIG gate layer; the smt.aig.*
+           counters in the JSON record the on-side. *)
+        Sqed_smt.Solver.aig_default := false;
         parse acc rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with

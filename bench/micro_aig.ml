@@ -1,0 +1,64 @@
+(* Microbenchmark of the bit-blaster's encoding backends, run by the
+   @bench-micro alias: AIG construction + polarity-aware CNF conversion
+   vs direct Tseitin emission, on a fixed adder/shifter/multiplier
+   workload (no SAT solving — this isolates the encoder, so a regression
+   in gate construction is caught without a full fig3 run).
+
+   Prints Bechamel OLS estimates (ns/run) for both backends and their
+   ratio; exits nonzero only if a backend fails to encode. *)
+
+module Term = Sqed_smt.Term
+module Solver = Sqed_smt.Solver
+
+(* One run = blast a 32-bit adder/shifter cone and assert it.  The shape
+   mirrors what the CEGIS queries emit: shared adder chains feeding
+   shifters and comparators. *)
+let workload ~aig () =
+  let s = Solver.create ~simplify:false ~aig () in
+  let x = Term.var "mb_x" 32 and y = Term.var "mb_y" 32 in
+  let sum = Term.add (Term.add x y) (Term.sub y x) in
+  let sh = Term.lshr (Term.shl sum (Term.of_int ~width:32 3)) y in
+  let rhs = Term.add y (Term.shl x y) in
+  Solver.assert_ s (Term.eq sh rhs);
+  Solver.assert_ s (Term.ult (Term.add sh rhs) (Term.mul sum y));
+  ignore (Solver.num_clauses s)
+
+let () =
+  (* Both backends must at least encode the workload. *)
+  workload ~aig:true ();
+  workload ~aig:false ();
+  let open Bechamel in
+  let tests =
+    [
+      ("aig", Test.make ~name:"blast: aig" (Staged.stage (workload ~aig:true)));
+      ( "direct",
+        Test.make ~name:"blast: direct tseitin"
+          (Staged.stage (workload ~aig:false)) );
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 1.5) ~kde:(Some 300) ()
+  in
+  let results =
+    List.map
+      (fun (key, test) ->
+        let t = List.hd (Test.elements test) in
+        let m = Benchmark.run cfg [ instance ] t in
+        let est = Analyze.one ols instance m in
+        let ns =
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> ns
+          | _ -> nan
+        in
+        Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) ns;
+        (key, ns))
+      tests
+  in
+  let aig = List.assoc "aig" results and direct = List.assoc "direct" results in
+  if Float.is_nan aig || Float.is_nan direct then
+    Printf.printf "  (no ratio: missing estimate)\n"
+  else Printf.printf "  aig/direct encode-time ratio: %.2f\n" (aig /. direct)

@@ -25,6 +25,7 @@ type obs_opts = {
   obs_metrics_json : string option;
   obs_trace : string option;
   obs_no_simplify : bool;
+  obs_no_aig : bool;
 }
 
 let obs_t =
@@ -64,13 +65,26 @@ let obs_t =
              the sat.simplify.* counters record what the preprocessor \
              did when it is on.")
   in
+  let no_aig =
+    Arg.(
+      value & flag
+      & info [ "no-aig" ]
+          ~doc:
+            "Bypass the AIG gate layer (structural hashing, rewriting, \
+             polarity-aware CNF conversion) and bit-blast with direct \
+             Tseitin emission, for every solver this command creates.  \
+             For A/B measurements; the smt.aig.* counters record what \
+             the layer did when it is on.")
+  in
   Term.(
-    const (fun obs_metrics obs_metrics_json obs_trace obs_no_simplify ->
-        { obs_metrics; obs_metrics_json; obs_trace; obs_no_simplify })
-    $ metrics $ metrics_json $ trace $ no_simplify)
+    const
+      (fun obs_metrics obs_metrics_json obs_trace obs_no_simplify obs_no_aig ->
+        { obs_metrics; obs_metrics_json; obs_trace; obs_no_simplify; obs_no_aig })
+    $ metrics $ metrics_json $ trace $ no_simplify $ no_aig)
 
 let with_obs obs f =
   if obs.obs_no_simplify then Sqed_smt.Solver.simplify_default := false;
+  if obs.obs_no_aig then Sqed_smt.Solver.aig_default := false;
   if obs.obs_metrics || obs.obs_metrics_json <> None then
     Metrics.enabled := true;
   if obs.obs_trace <> None then begin

@@ -366,29 +366,46 @@ let rec add_clause_internal s lits =
         (fun l -> if s.elim.(var_of l) then restore_vars s (var_of l))
         lits;
     (* Simplify: drop duplicate and false (level-0) literals; detect
-       tautologies and satisfied clauses. *)
+       tautologies and satisfied clauses.  This is the encoder's hot path
+       (every Tseitin/AIG clause lands here), so it sorts monomorphically
+       and compacts in place instead of going through lists. *)
     let lits = Array.copy lits in
-    Array.sort compare lits;
-    let out = ref [] in
+    let n = Array.length lits in
+    for i = 1 to n - 1 do
+      let x = lits.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && lits.(!j) > x do
+        lits.(!j + 1) <- lits.(!j);
+        decr j
+      done;
+      lits.(!j + 1) <- x
+    done;
     let taut = ref false in
+    let k = ref 0 in
     let last = ref (-2) in
-    Array.iter
-      (fun l ->
-        if l = negate !last then taut := true;
-        if l <> !last then begin
-          last := l;
-          match lit_val s l with
-          | 1 when s.level.(var_of l) = 0 -> taut := true
-          | 0 when s.level.(var_of l) = 0 -> () (* false at top level: drop *)
-          | _ -> out := l :: !out
-        end)
-      lits;
+    for i = 0 to n - 1 do
+      let l = lits.(i) in
+      if l = negate !last then taut := true;
+      if l <> !last then begin
+        last := l;
+        let v = lit_val s l in
+        if v >= 0 && s.level.(var_of l) = 0 then begin
+          if v = 1 then taut := true (* satisfied at top level *)
+          (* false at top level: drop *)
+        end
+        else begin
+          lits.(!k) <- l;
+          incr k
+        end
+      end
+    done;
     if not !taut then begin
-      match !out with
-      | [] ->
+      match !k with
+      | 0 ->
           s.ok <- false;
           raise Early_unsat
-      | [ l ] ->
+      | 1 ->
+          let l = lits.(0) in
           if decision_level s <> 0 then
             invalid_arg "Sat.add_clause: units only at level 0";
           (match lit_val s l with
@@ -397,10 +414,10 @@ let rec add_clause_internal s lits =
               s.ok <- false;
               raise Early_unsat
           | _ -> enqueue s l no_reason)
-      | ls ->
+      | m ->
           let c =
             {
-              lits = Array.of_list ls;
+              lits = (if m = n then lits else Array.sub lits 0 m);
               act = 0.0;
               lbd = 0;
               learnt = false;

@@ -4,276 +4,384 @@ module Metrics = Sqed_obs.Metrics
 
 (* Gate counts only tick when a gate is actually emitted — the constant-
    propagation short-circuits above each counter don't cost clauses, so
-   they shouldn't count. *)
+   they shouldn't count.  (The AIG backend ticks the same counter per
+   hash-consed AND node, in [Aig].) *)
 let m_gates = Metrics.counter "smt.gates"
 let m_cache_hits = Metrics.counter "smt.blast_cache_hits"
 
-type t = {
-  sat : Sat.t;
-  cache : (int, Sat.lit array) Hashtbl.t; (* term id -> lits *)
-  vars : (string * int, Sat.lit array) Hashtbl.t; (* (name, width) *)
-  tlit : Sat.lit;
-}
+(* The word-level circuits (adders, shifters, dividers, comparators) are
+   written once against this signature and instantiated twice: over raw
+   SAT literals with immediate Tseitin emission (the historical path, kept
+   verbatim for `--no-aig`), and over {!Aig} edges, where clauses only
+   materialize later, polarity-aware, at assert/assume time. *)
+module type GATES = sig
+  type ctx
+  type wire
 
-(* Every literal the blaster hands out (cached term outputs, declared
-   variables, the constant-true literal) must survive the SAT core's
-   preprocessing verbatim: a later incremental blast will emit new
-   clauses over it, and elimination would have removed its defining
-   clauses.  Freezing at cache-insertion time exempts exactly those
-   literals; the Tseitin-internal gates (adder carries, partial products,
-   shifter muxes) are never cached and remain fair game. *)
-let freeze_lits sat lits =
-  Array.iter (fun l -> Sat.freeze sat (Sat.var_of l)) lits
+  val true_w : ctx -> wire
+  val not_w : wire -> wire
+  val and_w : ctx -> wire -> wire -> wire
+  val xor_w : ctx -> wire -> wire -> wire
+  val mux_w : ctx -> wire -> wire -> wire -> wire
 
-let create sat =
-  let v = Sat.new_var sat in
-  let tlit = Sat.pos v in
-  Sat.add_clause sat [ tlit ];
-  Sat.freeze sat v;
-  { sat; cache = Hashtbl.create 1024; vars = Hashtbl.create 64; tlit }
+  val and_fold : ctx -> wire array -> wire
+  (** Reduce an array of wires by AND.  The direct backend folds left
+      (preserving its historical clause stream); the AIG backend builds a
+      balanced tree so local rewriting sees shallow chains. *)
 
-let true_lit b = b.tlit
-let false_lit b = Sat.negate b.tlit
+  val or_fold : ctx -> wire array -> wire
 
-let fresh b = Sat.pos (Sat.new_var b.sat)
+  val fresh_var : ctx -> wire
+  (** A fresh primary input (one bit of a declared variable). *)
 
-let is_true b l = l = b.tlit
-let is_false b l = l = Sat.negate b.tlit
+  val publish : ctx -> wire array -> unit
+  (** Hook run on every wire vector that enters the blast cache.  The
+      direct backend freezes the literals against preprocessing (future
+      incremental blasts emit clauses over them); the AIG backend does
+      nothing — edges carry no clauses until they are encoded. *)
+end
 
-(* -- gates (with constant propagation) --------------------------------- *)
+module Circuits (G : GATES) = struct
+  type t = {
+    ctx : G.ctx;
+    cache : (int, G.wire array) Hashtbl.t; (* term id -> wires *)
+    vars : (string * int, G.wire array) Hashtbl.t; (* (name, width) *)
+  }
 
-let and_gate b a c =
-  if is_false b a || is_false b c then false_lit b
-  else if is_true b a then c
-  else if is_true b c then a
-  else if a = c then a
-  else if a = Sat.negate c then false_lit b
-  else begin
-    Metrics.incr m_gates;
-    let g = fresh b in
-    Sat.add_clause b.sat [ Sat.negate g; a ];
-    Sat.add_clause b.sat [ Sat.negate g; c ];
-    Sat.add_clause b.sat [ g; Sat.negate a; Sat.negate c ];
-    g
-  end
+  let make ctx = { ctx; cache = Hashtbl.create 1024; vars = Hashtbl.create 64 }
+  let false_w c = G.not_w (G.true_w c)
+  let or_w c a b = G.not_w (G.and_w c (G.not_w a) (G.not_w b))
 
-let or_gate b a c = Sat.negate (and_gate b (Sat.negate a) (Sat.negate c))
+  let full_adder c a b cin =
+    let axb = G.xor_w c a b in
+    let sum = G.xor_w c axb cin in
+    let cout = or_w c (G.and_w c a b) (G.and_w c axb cin) in
+    (sum, cout)
 
-let xor_gate b a c =
-  if is_false b a then c
-  else if is_false b c then a
-  else if is_true b a then Sat.negate c
-  else if is_true b c then Sat.negate a
-  else if a = c then false_lit b
-  else if a = Sat.negate c then true_lit b
-  else begin
-    Metrics.incr m_gates;
-    let g = fresh b in
-    Sat.add_clause b.sat [ Sat.negate g; a; c ];
-    Sat.add_clause b.sat [ Sat.negate g; Sat.negate a; Sat.negate c ];
-    Sat.add_clause b.sat [ g; Sat.negate a; c ];
-    Sat.add_clause b.sat [ g; a; Sat.negate c ];
-    g
-  end
+  (* -- word-level circuits ---------------------------------------------- *)
 
-let mux_gate b sel a c =
-  (* sel ? a : c *)
-  if a = c then a
-  else if is_true b sel then a
-  else if is_false b sel then c
-  else begin
-    Metrics.incr m_gates;
-    let g = fresh b in
-    Sat.add_clause b.sat [ Sat.negate sel; Sat.negate a; g ];
-    Sat.add_clause b.sat [ Sat.negate sel; a; Sat.negate g ];
-    Sat.add_clause b.sat [ sel; Sat.negate c; g ];
-    Sat.add_clause b.sat [ sel; c; Sat.negate g ];
-    g
-  end
+  let adder c x y cin =
+    let w = Array.length x in
+    let out = Array.make w (false_w c) in
+    let carry = ref cin in
+    for i = 0 to w - 1 do
+      let s, co = full_adder c x.(i) y.(i) !carry in
+      out.(i) <- s;
+      carry := co
+    done;
+    out
 
-let full_adder b a c cin =
-  let axc = xor_gate b a c in
-  let sum = xor_gate b axc cin in
-  let cout = or_gate b (and_gate b a c) (and_gate b axc cin) in
-  (sum, cout)
+  let negate_vec x = Array.map G.not_w x
+  let subtractor c x y = adder c x (negate_vec y) (G.true_w c)
 
-(* -- word-level circuits ------------------------------------------------ *)
+  let const_vec c v =
+    Array.init (Bv.width v) (fun i ->
+        if Bv.get v i then G.true_w c else false_w c)
 
-let adder b x y cin =
-  let w = Array.length x in
-  let out = Array.make w (false_lit b) in
-  let carry = ref cin in
-  for i = 0 to w - 1 do
-    let s, c = full_adder b x.(i) y.(i) !carry in
-    out.(i) <- s;
-    carry := c
-  done;
-  out
+  let zero_vec c w = Array.make w (false_w c)
 
-let negate_vec x = Array.map Sat.negate x
-
-let subtractor b x y = adder b x (negate_vec y) (true_lit b)
-
-let const_vec b v =
-  Array.init (Bv.width v) (fun i ->
-      if Bv.get v i then true_lit b else false_lit b)
-
-let zero_vec b w = Array.make w (false_lit b)
-
-let multiplier b x y =
-  let w = Array.length x in
-  let acc = ref (zero_vec b w) in
-  for i = 0 to w - 1 do
-    (* Partial product of y_i with x shifted left by i, truncated to w. *)
-    let pp =
-      Array.init w (fun j ->
-          if j < i then false_lit b else and_gate b y.(i) x.(j - i))
-    in
-    acc := adder b !acc pp (false_lit b)
-  done;
-  !acc
-
-let ult_vec b x y =
-  (* Ripple comparison from LSB: lt_i = (~x_i & y_i) | ((x_i == y_i) & lt). *)
-  let lt = ref (false_lit b) in
-  for i = 0 to Array.length x - 1 do
-    let xi_lt = and_gate b (Sat.negate x.(i)) y.(i) in
-    let eq_i = Sat.negate (xor_gate b x.(i) y.(i)) in
-    lt := or_gate b xi_lt (and_gate b eq_i !lt)
-  done;
-  !lt
-
-let slt_vec b x y =
-  let w = Array.length x in
-  let x' = Array.copy x and y' = Array.copy y in
-  x'.(w - 1) <- Sat.negate x.(w - 1);
-  y'.(w - 1) <- Sat.negate y.(w - 1);
-  ult_vec b x' y'
-
-let eq_vec b x y =
-  let acc = ref (true_lit b) in
-  for i = 0 to Array.length x - 1 do
-    acc := and_gate b !acc (Sat.negate (xor_gate b x.(i) y.(i)))
-  done;
-  !acc
-
-let num_stage_bits w =
-  let rec go n = if 1 lsl n >= w then n else go (n + 1) in
-  if w <= 1 then 0 else go 1
-
-(* Barrel shifter.  [dir] selects left/right; [fill] is the literal shifted
-   in (false for shl/lshr, the sign for ashr).  Amount bits beyond the
-   stages force the all-fill result. *)
-let shifter b ~left ~fill x amt =
-  let w = Array.length x in
-  let k = num_stage_bits w in
-  let cur = ref (Array.copy x) in
-  for s = 0 to min (k - 1) (Array.length amt - 1) do
-    let dist = 1 lsl s in
-    let prev = !cur in
-    cur :=
-      Array.init w (fun i ->
-          let src = if left then i - dist else i + dist in
-          let shifted = if src < 0 || src >= w then fill else prev.(src) in
-          mux_gate b amt.(s) shifted prev.(i))
-  done;
-  (* Stages cover amounts in [0, 2^k); since 2^k >= w, every amount that
-     fits the stage bits either shifts correctly or (when >= w) already
-     produces the all-fill vector.  Any amount bit >= k set means the
-     amount is >= 2^k >= w: force the all-fill result. *)
-  let overflow = ref (false_lit b) in
-  for i = k to Array.length amt - 1 do
-    overflow := or_gate b !overflow amt.(i)
-  done;
-  Array.map (fun l -> mux_gate b !overflow fill l) !cur
-
-let divider b x y =
-  (* Restoring long division, MSB first: returns (quotient, remainder),
-     with the SMT-LIB convention for division by zero. *)
-  let w = Array.length x in
-  let q = Array.make w (false_lit b) in
-  let r = ref (zero_vec b w) in
-  for i = w - 1 downto 0 do
-    (* r = (r << 1) | x_i *)
-    let r' = Array.init w (fun j -> if j = 0 then x.(i) else !r.(j - 1)) in
-    let ge = Sat.negate (ult_vec b r' y) in
-    q.(i) <- ge;
-    let diff = subtractor b r' y in
-    r := Array.init w (fun j -> mux_gate b ge diff.(j) r'.(j))
-  done;
-  let yzero = eq_vec b y (zero_vec b w) in
-  let qz = Array.map (fun l -> mux_gate b yzero (true_lit b) l) q in
-  let rz = Array.init w (fun j -> mux_gate b yzero x.(j) !r.(j)) in
-  (qz, rz)
-
-(* -- main translation ---------------------------------------------------- *)
-
-let rec blast b (t : Term.t) =
-  match Hashtbl.find_opt b.cache t.Term.id with
-  | Some lits ->
-      Metrics.incr m_cache_hits;
-      lits
-  | None ->
-      let lits =
-        match t.Term.node with
-        | Term.Var (name, w) -> (
-            match Hashtbl.find_opt b.vars (name, w) with
-            | Some lits -> lits
-            | None ->
-                let lits = Array.init w (fun _ -> fresh b) in
-                Hashtbl.add b.vars (name, w) lits;
-                freeze_lits b.sat lits;
-                lits)
-        | Term.Const v -> const_vec b v
-        | Term.Not a -> negate_vec (blast b a)
-        | Term.Neg a ->
-            let x = blast b a in
-            adder b (negate_vec x) (zero_vec b (Array.length x)) (true_lit b)
-        | Term.And (a, c) -> Array.map2 (and_gate b) (blast b a) (blast b c)
-        | Term.Or (a, c) -> Array.map2 (or_gate b) (blast b a) (blast b c)
-        | Term.Xor (a, c) -> Array.map2 (xor_gate b) (blast b a) (blast b c)
-        | Term.Add (a, c) -> adder b (blast b a) (blast b c) (false_lit b)
-        | Term.Sub (a, c) -> subtractor b (blast b a) (blast b c)
-        | Term.Mul (a, c) -> multiplier b (blast b a) (blast b c)
-        | Term.Udiv (a, c) -> fst (divider b (blast b a) (blast b c))
-        | Term.Urem (a, c) -> snd (divider b (blast b a) (blast b c))
-        | Term.Shl (a, c) ->
-            shifter b ~left:true ~fill:(false_lit b) (blast b a) (blast b c)
-        | Term.Lshr (a, c) ->
-            shifter b ~left:false ~fill:(false_lit b) (blast b a) (blast b c)
-        | Term.Ashr (a, c) ->
-            let x = blast b a in
-            shifter b ~left:false ~fill:x.(Array.length x - 1) x (blast b c)
-        | Term.Eq (a, c) -> [| eq_vec b (blast b a) (blast b c) |]
-        | Term.Ult (a, c) -> [| ult_vec b (blast b a) (blast b c) |]
-        | Term.Slt (a, c) -> [| slt_vec b (blast b a) (blast b c) |]
-        | Term.Ite (c, a, d) ->
-            let sel = (blast b c).(0) in
-            Array.map2 (fun x y -> mux_gate b sel x y) (blast b a) (blast b d)
-        | Term.Extract (hi, lo, a) ->
-            let x = blast b a in
-            Array.sub x lo (hi - lo + 1)
-        | Term.Zext (w, a) ->
-            let x = blast b a in
-            Array.init w (fun i ->
-                if i < Array.length x then x.(i) else false_lit b)
-        | Term.Sext (w, a) ->
-            let x = blast b a in
-            let n = Array.length x in
-            Array.init w (fun i -> if i < n then x.(i) else x.(n - 1))
-        | Term.Concat (hi, lo) ->
-            let h = blast b hi and l = blast b lo in
-            Array.append l h
+  let multiplier c x y =
+    let w = Array.length x in
+    let acc = ref (zero_vec c w) in
+    for i = 0 to w - 1 do
+      (* Partial product of y_i with x shifted left by i, truncated to w. *)
+      let pp =
+        Array.init w (fun j ->
+            if j < i then false_w c else G.and_w c y.(i) x.(j - i))
       in
-      assert (Array.length lits = t.Term.width);
-      Hashtbl.add b.cache t.Term.id lits;
-      freeze_lits b.sat lits;
-      lits
+      acc := adder c !acc pp (false_w c)
+    done;
+    !acc
 
-let blast_bool b t =
-  if Term.width t <> 1 then invalid_arg "Bitblast.blast_bool: width <> 1";
-  (blast b t).(0)
+  let ult_vec c x y =
+    (* Ripple comparison from LSB: lt_i = (~x_i & y_i) | ((x_i == y_i) & lt). *)
+    let lt = ref (false_w c) in
+    for i = 0 to Array.length x - 1 do
+      let xi_lt = G.and_w c (G.not_w x.(i)) y.(i) in
+      let eq_i = G.not_w (G.xor_w c x.(i) y.(i)) in
+      lt := or_w c xi_lt (G.and_w c eq_i !lt)
+    done;
+    !lt
 
-let assert_bool b t = Sat.add_clause b.sat [ blast_bool b t ]
+  let slt_vec c x y =
+    let w = Array.length x in
+    let x' = Array.copy x and y' = Array.copy y in
+    x'.(w - 1) <- G.not_w x.(w - 1);
+    y'.(w - 1) <- G.not_w y.(w - 1);
+    ult_vec c x' y'
 
-let var_lits b name ~width = Hashtbl.find_opt b.vars (name, width)
+  let eq_vec c x y =
+    G.and_fold c
+      (Array.init (Array.length x) (fun i ->
+           G.not_w (G.xor_w c x.(i) y.(i))))
+
+  let num_stage_bits w =
+    let rec go n = if 1 lsl n >= w then n else go (n + 1) in
+    if w <= 1 then 0 else go 1
+
+  (* Barrel shifter.  [dir] selects left/right; [fill] is the wire shifted
+     in (false for shl/lshr, the sign for ashr).  Amount bits beyond the
+     stages force the all-fill result. *)
+  let shifter c ~left ~fill x amt =
+    let w = Array.length x in
+    let k = num_stage_bits w in
+    let cur = ref (Array.copy x) in
+    for s = 0 to min (k - 1) (Array.length amt - 1) do
+      let dist = 1 lsl s in
+      let prev = !cur in
+      cur :=
+        Array.init w (fun i ->
+            let src = if left then i - dist else i + dist in
+            let shifted = if src < 0 || src >= w then fill else prev.(src) in
+            G.mux_w c amt.(s) shifted prev.(i))
+    done;
+    (* Stages cover amounts in [0, 2^k); since 2^k >= w, every amount that
+       fits the stage bits either shifts correctly or (when >= w) already
+       produces the all-fill vector.  Any amount bit >= k set means the
+       amount is >= 2^k >= w: force the all-fill result. *)
+    let overflow =
+      if Array.length amt <= k then false_w c
+      else G.or_fold c (Array.sub amt k (Array.length amt - k))
+    in
+    Array.map (fun l -> G.mux_w c overflow fill l) !cur
+
+  let divider c x y =
+    (* Restoring long division, MSB first: returns (quotient, remainder),
+       with the SMT-LIB convention for division by zero. *)
+    let w = Array.length x in
+    let q = Array.make w (false_w c) in
+    let r = ref (zero_vec c w) in
+    for i = w - 1 downto 0 do
+      (* r = (r << 1) | x_i *)
+      let r' = Array.init w (fun j -> if j = 0 then x.(i) else !r.(j - 1)) in
+      let ge = G.not_w (ult_vec c r' y) in
+      q.(i) <- ge;
+      let diff = subtractor c r' y in
+      r := Array.init w (fun j -> G.mux_w c ge diff.(j) r'.(j))
+    done;
+    let yzero = eq_vec c y (zero_vec c w) in
+    let qz = Array.map (fun l -> G.mux_w c yzero (G.true_w c) l) q in
+    let rz = Array.init w (fun j -> G.mux_w c yzero x.(j) !r.(j)) in
+    (qz, rz)
+
+  (* -- main translation -------------------------------------------------- *)
+
+  let rec blast b (t : Term.t) =
+    match Hashtbl.find_opt b.cache t.Term.id with
+    | Some ws ->
+        Metrics.incr m_cache_hits;
+        ws
+    | None ->
+        let c = b.ctx in
+        let ws =
+          match t.Term.node with
+          | Term.Var (name, w) -> (
+              match Hashtbl.find_opt b.vars (name, w) with
+              | Some ws -> ws
+              | None ->
+                  let ws = Array.init w (fun _ -> G.fresh_var c) in
+                  Hashtbl.add b.vars (name, w) ws;
+                  G.publish c ws;
+                  ws)
+          | Term.Const v -> const_vec c v
+          | Term.Not a -> negate_vec (blast b a)
+          | Term.Neg a ->
+              let x = blast b a in
+              adder c (negate_vec x) (zero_vec c (Array.length x)) (G.true_w c)
+          | Term.And (a, d) -> Array.map2 (G.and_w c) (blast b a) (blast b d)
+          | Term.Or (a, d) -> Array.map2 (or_w c) (blast b a) (blast b d)
+          | Term.Xor (a, d) -> Array.map2 (G.xor_w c) (blast b a) (blast b d)
+          | Term.Add (a, d) -> adder c (blast b a) (blast b d) (false_w c)
+          | Term.Sub (a, d) -> subtractor c (blast b a) (blast b d)
+          | Term.Mul (a, d) -> multiplier c (blast b a) (blast b d)
+          | Term.Udiv (a, d) -> fst (divider c (blast b a) (blast b d))
+          | Term.Urem (a, d) -> snd (divider c (blast b a) (blast b d))
+          | Term.Shl (a, d) ->
+              shifter c ~left:true ~fill:(false_w c) (blast b a) (blast b d)
+          | Term.Lshr (a, d) ->
+              shifter c ~left:false ~fill:(false_w c) (blast b a) (blast b d)
+          | Term.Ashr (a, d) ->
+              let x = blast b a in
+              shifter c ~left:false ~fill:x.(Array.length x - 1) x (blast b d)
+          | Term.Eq (a, d) -> [| eq_vec c (blast b a) (blast b d) |]
+          | Term.Ult (a, d) -> [| ult_vec c (blast b a) (blast b d) |]
+          | Term.Slt (a, d) -> [| slt_vec c (blast b a) (blast b d) |]
+          | Term.Ite (s, a, d) ->
+              let sel = (blast b s).(0) in
+              Array.map2 (fun x y -> G.mux_w c sel x y) (blast b a) (blast b d)
+          | Term.Extract (hi, lo, a) ->
+              let x = blast b a in
+              Array.sub x lo (hi - lo + 1)
+          | Term.Zext (w, a) ->
+              let x = blast b a in
+              Array.init w (fun i ->
+                  if i < Array.length x then x.(i) else false_w c)
+          | Term.Sext (w, a) ->
+              let x = blast b a in
+              let n = Array.length x in
+              Array.init w (fun i -> if i < n then x.(i) else x.(n - 1))
+          | Term.Concat (hi, lo) ->
+              let h = blast b hi and l = blast b lo in
+              Array.append l h
+        in
+        assert (Array.length ws = t.Term.width);
+        Hashtbl.add b.cache t.Term.id ws;
+        G.publish c ws;
+        ws
+end
+
+(* -- direct Tseitin backend (the historical path, used by --no-aig) ----- *)
+
+module Direct_gates = struct
+  type ctx = { sat : Sat.t; tlit : Sat.lit }
+  type wire = Sat.lit
+
+  let true_w c = c.tlit
+  let not_w = Sat.negate
+  let fresh_var c = Sat.pos (Sat.new_var c.sat)
+  let is_t c l = l = c.tlit
+  let is_f c l = l = Sat.negate c.tlit
+
+  let and_w c a b =
+    if is_f c a || is_f c b then Sat.negate c.tlit
+    else if is_t c a then b
+    else if is_t c b then a
+    else if a = b then a
+    else if a = Sat.negate b then Sat.negate c.tlit
+    else begin
+      Metrics.incr m_gates;
+      let g = fresh_var c in
+      Sat.add_clause c.sat [ Sat.negate g; a ];
+      Sat.add_clause c.sat [ Sat.negate g; b ];
+      Sat.add_clause c.sat [ g; Sat.negate a; Sat.negate b ];
+      g
+    end
+
+  let xor_w c a b =
+    if is_f c a then b
+    else if is_f c b then a
+    else if is_t c a then Sat.negate b
+    else if is_t c b then Sat.negate a
+    else if a = b then Sat.negate c.tlit
+    else if a = Sat.negate b then c.tlit
+    else begin
+      Metrics.incr m_gates;
+      let g = fresh_var c in
+      Sat.add_clause c.sat [ Sat.negate g; a; b ];
+      Sat.add_clause c.sat [ Sat.negate g; Sat.negate a; Sat.negate b ];
+      Sat.add_clause c.sat [ g; Sat.negate a; b ];
+      Sat.add_clause c.sat [ g; a; Sat.negate b ];
+      g
+    end
+
+  let mux_w c sel a b =
+    (* sel ? a : b *)
+    if a = b then a
+    else if is_t c sel then a
+    else if is_f c sel then b
+    else begin
+      Metrics.incr m_gates;
+      let g = fresh_var c in
+      Sat.add_clause c.sat [ Sat.negate sel; Sat.negate a; g ];
+      Sat.add_clause c.sat [ Sat.negate sel; a; Sat.negate g ];
+      Sat.add_clause c.sat [ sel; Sat.negate b; g ];
+      Sat.add_clause c.sat [ sel; b; Sat.negate g ];
+      g
+    end
+
+  let and_fold c arr = Array.fold_left (and_w c) c.tlit arr
+
+  let or_fold c arr =
+    Sat.negate
+      (Array.fold_left
+         (fun acc w -> and_w c acc (Sat.negate w))
+         c.tlit arr)
+
+  (* Every literal the blaster hands out (cached term outputs, declared
+     variables, the constant-true literal) must survive the SAT core's
+     preprocessing verbatim: a later incremental blast will emit new
+     clauses over it, and elimination would have removed its defining
+     clauses.  Freezing at cache-insertion time exempts exactly those
+     literals; the Tseitin-internal gates (adder carries, partial products,
+     shifter muxes) are never cached and remain fair game. *)
+  let publish c ws = Array.iter (fun l -> Sat.freeze c.sat (Sat.var_of l)) ws
+end
+
+(* -- AIG backend --------------------------------------------------------- *)
+
+module Aig_gates = struct
+  type ctx = Aig.t
+  type wire = Aig.edge
+
+  let true_w _ = Aig.etrue
+  let not_w = Aig.enot
+  let and_w = Aig.and_
+  let xor_w = Aig.xor_
+  let mux_w = Aig.mux
+  let and_fold = Aig.and_many
+  let or_fold = Aig.or_many
+  let fresh_var = Aig.fresh_input
+  let publish _ _ = ()
+end
+
+module DC = Circuits (Direct_gates)
+module AC = Circuits (Aig_gates)
+
+type t = Direct of DC.t | Aig of AC.t
+
+let create ?(aig = true) sat =
+  if aig then Aig (AC.make (Aig.create sat))
+  else begin
+    let v = Sat.new_var sat in
+    let tlit = Sat.pos v in
+    Sat.add_clause sat [ tlit ];
+    Sat.freeze sat v;
+    Direct (DC.make { Direct_gates.sat; tlit })
+  end
+
+let uses_aig = function Aig _ -> true | Direct _ -> false
+
+let true_lit = function
+  | Direct b -> b.DC.ctx.Direct_gates.tlit
+  | Aig b -> Aig.true_lit b.AC.ctx
+
+let false_lit t = Sat.negate (true_lit t)
+
+let blast t term =
+  match t with
+  | Direct b -> DC.blast b term
+  | Aig b ->
+      (* These literals escape to the caller, who may constrain them in
+         either phase and emit clauses over them: encode both polarity
+         halves and freeze. *)
+      let g = b.AC.ctx in
+      Array.map
+        (fun e ->
+          Aig.encode g e Aig.Both;
+          Aig.freeze g e;
+          Aig.lit g e)
+        (AC.blast b term)
+
+let blast_bool t term =
+  if Term.width term <> 1 then invalid_arg "Bitblast.blast_bool: width <> 1";
+  (blast t term).(0)
+
+let assert_bool t term =
+  if Term.width term <> 1 then invalid_arg "Bitblast.assert_bool: width <> 1";
+  match t with
+  | Direct b -> Sat.add_clause b.DC.ctx.Direct_gates.sat [ (DC.blast b term).(0) ]
+  | Aig b -> Aig.assert_edge b.AC.ctx (AC.blast b term).(0)
+
+let assume_bool t term =
+  if Term.width term <> 1 then invalid_arg "Bitblast.assume_bool: width <> 1";
+  match t with
+  | Direct b -> (DC.blast b term).(0)
+  | Aig b -> Aig.assume_lit b.AC.ctx (AC.blast b term).(0)
+
+let var_lits t name ~width =
+  match t with
+  | Direct b -> Hashtbl.find_opt b.DC.vars (name, width)
+  | Aig b ->
+      Option.map
+        (Array.map (Aig.lit b.AC.ctx))
+        (Hashtbl.find_opt b.AC.vars (name, width))

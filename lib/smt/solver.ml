@@ -21,11 +21,17 @@ type t = {
    whole run (the `--no-simplify` CLI/bench flag flips it). *)
 let simplify_default = ref true
 
-let create ?simplify () =
+(* Likewise the AIG gate layer: [~aig:false] per instance, or the
+   [aig_default] switch (the `--no-aig` CLI/bench flag) to fall back to
+   direct Tseitin emission for a whole run. *)
+let aig_default = ref true
+
+let create ?simplify ?aig () =
   let sat = Sat.create () in
   let on = match simplify with Some b -> b | None -> !simplify_default in
   Sat.set_simplify sat on;
-  { sat; blaster = Bitblast.create sat; has_model = false }
+  let aig_on = match aig with Some b -> b | None -> !aig_default in
+  { sat; blaster = Bitblast.create ~aig:aig_on sat; has_model = false }
 
 let assert_ s t =
   if Term.width t <> 1 then invalid_arg "Solver.assert_: width <> 1";
@@ -39,7 +45,7 @@ let check ?(assumptions = []) ?max_conflicts ?deadline s =
       let t0 = if !Metrics.enabled then Unix.gettimeofday () else 0.0 in
       let assumption_lits =
         Trace.with_span sp_blast (fun () ->
-            List.map (fun t -> Bitblast.blast_bool s.blaster t) assumptions)
+            List.map (fun t -> Bitblast.assume_bool s.blaster t) assumptions)
       in
       let r =
         match

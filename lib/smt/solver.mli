@@ -5,11 +5,15 @@
     retract anything.
 
     Every instance runs the SAT core's CNF preprocessor ({!Sqed_sat.Simplify})
-    by default: the bit-blaster freezes each literal it caches, so the
-    simplifier only ever eliminates Tseitin-internal gate variables and
+    by default: the bit-blaster freezes each literal it hands out, so the
+    simplifier only ever eliminates gate-internal variables and
     incremental use (more assertions, assumptions, further [check]s) stays
     sound.  Opt out per instance with [~simplify:false] or globally with
-    {!simplify_default}. *)
+    {!simplify_default}.
+
+    Bit-blasting goes through the {!Aig} gate layer by default (structural
+    hashing, rewriting, polarity-aware CNF conversion); [~aig:false] or
+    {!aig_default} falls back to direct Tseitin emission. *)
 
 module Bv = Sqed_bv.Bv
 
@@ -21,7 +25,11 @@ val simplify_default : bool ref
 (** Default for [create]'s [?simplify] (initially [true]); the CLI and
     bench `--no-simplify` flag sets it to [false] for the whole run. *)
 
-val create : ?simplify:bool -> unit -> t
+val aig_default : bool ref
+(** Default for [create]'s [?aig] (initially [true]); the CLI and bench
+    `--no-aig` flag sets it to [false] for the whole run. *)
+
+val create : ?simplify:bool -> ?aig:bool -> unit -> t
 
 val assert_ : t -> Term.t -> unit
 (** Assert a width-1 term. *)

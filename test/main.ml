@@ -7,6 +7,7 @@ let () =
       ("simplify", Test_simplify.suite);
       ("par", Test_par.suite);
       ("smt", Test_smt.suite);
+      ("aig", Test_aig.suite);
       ("rtl", Test_rtl.suite);
       ("isa", Test_isa.suite);
       ("proc", Test_proc.suite);

@@ -86,6 +86,11 @@ let () =
          Tseitin-internal gates to eliminate — the simplifier must have
          both run and done real work. *)
       "sat.simplify.passes"; "sat.simplify.eliminated_vars";
+      (* The AIG gate layer is on by default: blasting any circuit must
+         allocate nodes, hit the structural hash on shared subterms, and
+         skip clause halves via polarity-aware conversion. *)
+      "smt.aig.nodes"; "smt.aig.struct_hits";
+      "smt.aig.pg_skipped_clauses";
     ];
 
   (* The metrics snapshot must itself be valid JSON. *)

@@ -1,0 +1,276 @@
+(* Differential fuzz for the AIG gate layer (Sqed_smt.Aig and its
+   integration into the bit-blaster): the AIG-backed solver must return
+   the same SAT/UNSAT verdict as the direct-Tseitin one on random QF_BV
+   problems, SAT models must satisfy the asserted terms, assumptions and
+   incremental assertion must keep their meaning (exercising the
+   Plaisted–Greenbaum polarity halves emitted across [check] calls), and
+   the DIMACS export of an AIG-encoded instance must round-trip to the
+   same verdict. *)
+
+module Sat = Sqed_sat.Sat
+module Dimacs = Sqed_sat.Dimacs
+module Smt = Sqed_smt
+module Aig = Sqed_smt.Aig
+module Term = Smt.Term
+module Solver = Smt.Solver
+
+(* -- raw graph unit tests ------------------------------------------------ *)
+
+let test_structural_hashing () =
+  let s = Sat.create () in
+  let g = Aig.create s in
+  let a = Aig.fresh_input g and b = Aig.fresh_input g in
+  let x = Aig.and_ g a b in
+  let before = Aig.num_nodes g in
+  Alcotest.(check int) "repeat is shared" x (Aig.and_ g a b);
+  Alcotest.(check int) "commuted is shared" x (Aig.and_ g b a);
+  Alcotest.(check int) "no new nodes" before (Aig.num_nodes g)
+
+let test_folding () =
+  let s = Sat.create () in
+  let g = Aig.create s in
+  let a = Aig.fresh_input g and b = Aig.fresh_input g in
+  Alcotest.(check int) "x & true = x" a (Aig.and_ g a Aig.etrue);
+  Alcotest.(check int) "x & false = false" Aig.efalse (Aig.and_ g a Aig.efalse);
+  Alcotest.(check int) "x & x = x" a (Aig.and_ g a a);
+  Alcotest.(check int) "x & ~x = false" Aig.efalse (Aig.and_ g a (Aig.enot a));
+  Alcotest.(check int) "x ^ x = false" Aig.efalse (Aig.xor_ g a a);
+  Alcotest.(check int) "x ^ ~x = true" Aig.etrue (Aig.xor_ g a (Aig.enot a));
+  Alcotest.(check int) "x ^ false = x" a (Aig.xor_ g a Aig.efalse);
+  Alcotest.(check int) "x ^ true = ~x" (Aig.enot a) (Aig.xor_ g a Aig.etrue);
+  Alcotest.(check int) "mux const sel" a (Aig.mux g Aig.etrue a b);
+  Alcotest.(check int) "mux same arms" a (Aig.mux g b a a)
+
+let test_rewrites () =
+  let s = Sat.create () in
+  let g = Aig.create s in
+  let a = Aig.fresh_input g and b = Aig.fresh_input g in
+  let ab = Aig.and_ g a b in
+  (* idempotence over a child *)
+  Alcotest.(check int) "(a&b)&a = a&b" ab (Aig.and_ g ab a);
+  (* contradiction over a child *)
+  Alcotest.(check int) "(a&b)&~a = false" Aig.efalse
+    (Aig.and_ g ab (Aig.enot a));
+  (* subsumption *)
+  Alcotest.(check int) "~(a&b)&~a = ~a" (Aig.enot a)
+    (Aig.and_ g (Aig.enot ab) (Aig.enot a));
+  (* substitution: ~(a&b) & a = a & ~b *)
+  Alcotest.(check int) "~(a&b)&a = a&~b"
+    (Aig.and_ g a (Aig.enot b))
+    (Aig.and_ g (Aig.enot ab) a);
+  (* resolution: ~(a&b) & ~(a&~b) = ~a *)
+  let ab' = Aig.and_ g a (Aig.enot b) in
+  Alcotest.(check int) "resolution" (Aig.enot a)
+    (Aig.and_ g (Aig.enot ab) (Aig.enot ab'))
+
+(* Exhaustive truth tables for the gate primitives through the full
+   encode/solve pipeline, driven by assumptions (so both polarity halves
+   of each cone get exercised). *)
+let test_truth_tables () =
+  let s = Sat.create () in
+  let g = Aig.create s in
+  let a = Aig.fresh_input g and b = Aig.fresh_input g and c = Aig.fresh_input g in
+  let gates =
+    [
+      ("and", Aig.and_ g a b, fun va vb _ -> va && vb);
+      ("or", Aig.or_ g a b, fun va vb _ -> va || vb);
+      ("xor", Aig.xor_ g a b, fun va vb _ -> va <> vb);
+      ("mux", Aig.mux g a b c, fun va vb vc -> if va then vb else vc);
+    ]
+  in
+  List.iter
+    (fun (name, e, f) ->
+      List.iter
+        (fun (va, vb, vc) ->
+          let want = f va vb vc in
+          let lit_of edge v =
+            Aig.assume_lit g (if v then edge else Aig.enot edge)
+          in
+          let assums e' =
+            [ lit_of a va; lit_of b vb; lit_of c vc; Aig.assume_lit g e' ]
+          in
+          let ok =
+            Sat.solve ~assumptions:(assums (if want then e else Aig.enot e)) s
+          in
+          let bad =
+            Sat.solve ~assumptions:(assums (if want then Aig.enot e else e)) s
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s(%b,%b,%b) consistent" name va vb vc)
+            true
+            (ok = Sat.Sat && bad = Sat.Unsat))
+        [
+          (false, false, false);
+          (false, false, true);
+          (false, true, false);
+          (false, true, true);
+          (true, false, false);
+          (true, false, true);
+          (true, true, false);
+          (true, true, true);
+        ])
+    gates
+
+(* Polarity-awareness is observable from outside: asserting a wide
+   conjunction needs only the lit -> cone halves, so the AIG path must
+   produce strictly fewer clauses than full Tseitin on the same term. *)
+let test_pg_fewer_clauses () =
+  let width = 16 in
+  let x = Term.var "x" width and y = Term.var "y" width in
+  let prop = Term.eq (Term.add x y) (Term.sub y x) in
+  let direct = Solver.create ~simplify:false ~aig:false () in
+  let aig = Solver.create ~simplify:false ~aig:true () in
+  Solver.assert_ direct prop;
+  Solver.assert_ aig prop;
+  Alcotest.(check bool) "same verdict" true
+    (Solver.check direct = Solver.check aig);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer clauses (%d aig vs %d direct)"
+       (Solver.num_clauses aig) (Solver.num_clauses direct))
+    true
+    (Solver.num_clauses aig < Solver.num_clauses direct)
+
+(* -- random QF_BV differential ------------------------------------------ *)
+
+let random_term rng vars depth width =
+  let rec go depth =
+    if depth = 0 then
+      match Random.State.int rng 3 with
+      | 0 -> Term.var (List.nth vars (Random.State.int rng (List.length vars))) width
+      | 1 -> Term.const (Sqed_bv.Bv.of_int ~width (Random.State.int rng 256))
+      | _ -> Term.var (List.nth vars (Random.State.int rng (List.length vars))) width
+    else
+      let a = go (depth - 1) and b = go (depth - 1) in
+      match Random.State.int rng 11 with
+      | 0 -> Term.add a b
+      | 1 -> Term.sub a b
+      | 2 -> Term.and_ a b
+      | 3 -> Term.or_ a b
+      | 4 -> Term.xor a b
+      | 5 -> Term.not_ a
+      | 6 -> Term.mul a b
+      | 7 -> Term.ite (Term.eq a b) a b
+      | 8 -> Term.ite (Term.ult a b) b a
+      | 9 ->
+          Term.lshr a
+            (Term.const (Sqed_bv.Bv.of_int ~width (Random.State.int rng width)))
+      | _ ->
+          Term.shl a
+            (Term.const (Sqed_bv.Bv.of_int ~width (Random.State.int rng width)))
+  in
+  go depth
+
+let random_prop rng vars width =
+  let t1 = random_term rng vars 3 width and t2 = random_term rng vars 3 width in
+  match Random.State.int rng 3 with
+  | 0 -> Term.eq t1 t2
+  | 1 -> Term.ult t1 t2
+  | _ -> Term.distinct (Term.add t1 t2) t2
+
+let width = 6
+let vars = [ "x"; "y"; "z" ]
+
+let model_satisfies solver prop =
+  Sqed_bv.Bv.to_int (Solver.model_value solver prop) = 1
+
+(* Verdict + model agreement between the two bit-blasting backends, then
+   a follow-up check under assumptions on the same (incremental) pair. *)
+let aig_differential seed =
+  let rng = Random.State.make [| seed |] in
+  let prop = random_prop rng vars width in
+  let direct = Solver.create ~simplify:false ~aig:false () in
+  let aig = Solver.create ~simplify:false ~aig:true () in
+  Solver.assert_ direct prop;
+  Solver.assert_ aig prop;
+  let r_direct = Solver.check direct and r_aig = Solver.check aig in
+  (match (r_direct, r_aig) with
+  | Solver.Sat, Solver.Sat -> model_satisfies aig prop
+  | Solver.Unsat, Solver.Unsat -> true
+  | _ -> false)
+  &&
+  let assum = random_prop rng vars width in
+  Solver.check ~assumptions:[ assum ] direct
+  = Solver.check ~assumptions:[ assum ] aig
+
+(* Incremental adds after a check: later assertions extend already
+   converted cones, forcing the encoder to emit missing polarity halves
+   for shared nodes. *)
+let aig_incremental seed =
+  let rng = Random.State.make [| seed |] in
+  let p1 = random_prop rng vars width in
+  let p2 = random_prop rng vars width in
+  let direct = Solver.create ~simplify:false ~aig:false () in
+  let aig = Solver.create ~simplify:false ~aig:true () in
+  Solver.assert_ direct p1;
+  Solver.assert_ aig p1;
+  let r1 = Solver.check direct = Solver.check aig in
+  Solver.assert_ direct p2;
+  Solver.assert_ aig p2;
+  let rd = Solver.check direct and ra = Solver.check aig in
+  r1 && rd = ra
+  && (ra <> Solver.Sat
+     || (model_satisfies aig p1 && model_satisfies aig p2))
+
+(* Full matrix point: AIG and the CNF preprocessor together must agree
+   with both features off (eliminated gate variables vs late polarity
+   halves is the risky interaction). *)
+let aig_simplify_matrix seed =
+  let rng = Random.State.make [| seed |] in
+  let p1 = random_prop rng vars width in
+  let p2 = random_prop rng vars width in
+  let plain = Solver.create ~simplify:false ~aig:false () in
+  let full = Solver.create ~simplify:true ~aig:true () in
+  Solver.assert_ plain p1;
+  Solver.assert_ full p1;
+  let r1 = Solver.check plain = Solver.check full in
+  Solver.assert_ plain p2;
+  Solver.assert_ full p2;
+  let rp = Solver.check plain and rf = Solver.check full in
+  r1 && rp = rf && (rf <> Solver.Sat || model_satisfies full p2)
+
+(* DIMACS export of the post-AIG clause stream must be equisatisfiable
+   with the instance: parse it back and re-solve from scratch. *)
+let dimacs_roundtrip ~aig seed =
+  let rng = Random.State.make [| seed |] in
+  let prop = random_prop rng vars width in
+  let s = Solver.create ~simplify:false ~aig () in
+  Solver.assert_ s prop;
+  let verdict = Solver.check s in
+  match Dimacs.parse (Solver.to_dimacs s) with
+  | Error e -> Alcotest.failf "export did not parse: %s" e
+  | Ok cnf ->
+      let r, model = Dimacs.solve cnf in
+      let same =
+        match (verdict, r) with
+        | Solver.Sat, Sat.Sat -> model <> None
+        | Solver.Unsat, Sat.Unsat -> true
+        | _ -> false
+      in
+      same && cnf.Dimacs.num_vars >= 1
+
+let props =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.nat in
+  [
+    QCheck.Test.make ~name:"aig = direct (verdicts, models, assumptions)"
+      ~count:200 arb aig_differential;
+    QCheck.Test.make ~name:"aig = direct (incremental adds)" ~count:150 arb
+      aig_incremental;
+    QCheck.Test.make ~name:"aig+simplify = plain" ~count:100 arb
+      aig_simplify_matrix;
+    QCheck.Test.make ~name:"dimacs round-trip (aig)" ~count:40 arb
+      (dimacs_roundtrip ~aig:true);
+    QCheck.Test.make ~name:"dimacs round-trip (direct)" ~count:20 arb
+      (dimacs_roundtrip ~aig:false);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "structural hashing" `Quick test_structural_hashing;
+    Alcotest.test_case "constant folding" `Quick test_folding;
+    Alcotest.test_case "one-level rewrites" `Quick test_rewrites;
+    Alcotest.test_case "gate truth tables through SAT" `Quick
+      test_truth_tables;
+    Alcotest.test_case "polarity-aware conversion emits fewer clauses" `Quick
+      test_pg_fewer_clauses;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
