@@ -54,6 +54,19 @@ let () =
           "smt.aig.nodes"; "smt.aig.struct_hits"; "smt.aig.rewrites";
           "smt.aig.pg_skipped_clauses";
         ];
+      (* The resilience layer's counters must be published even when the
+         run was clean (value 0): operators grep for them to tell "no
+         retries happened" from "retry accounting fell off". *)
+      List.iter
+        (fun name ->
+          check
+            (Printf.sprintf "counter %s present" name)
+            (counter name <> None))
+        [
+          "resil.retries"; "resil.task_failures"; "resil.tasks_skipped";
+          "resil.faults_injected"; "resil.budget.exhausted";
+          "resil.checkpoint.records";
+        ];
       (match Json.member "experiments" j with
       | Some (Json.List (_ :: _)) -> check "at least one experiment record" true
       | _ -> check "at least one experiment record" false);

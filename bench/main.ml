@@ -29,13 +29,24 @@ module Pool = Sqed_par.Pool
 module Metrics = Sqed_obs.Metrics
 module Span = Sqed_obs.Trace
 
+module Journal = Sqed_resil.Journal
+module Verdict = Sqed_resil.Verdict
+
 let fast = ref false
 let jobs = ref 0 (* 0 = Pool.default_jobs () *)
 let json_path = ref "BENCH_sepe.json"
 let metrics_on = ref true (* --no-metrics opts out *)
 let trace_path = ref None
 let metrics_json_path = ref None
+let checkpoint = ref None (* --checkpoint FILE: journal + resume fig3/table1 *)
 let line = String.make 72 '-'
+
+(* Aggregated campaign verdicts across every experiment run this
+   invocation; a degraded campaign turns into a nonzero exit at the end
+   (after the JSON/trace artifacts are written). *)
+let campaign = ref Verdict.empty
+
+let note_summary s = campaign := Verdict.add !campaign s
 
 let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
 
@@ -114,7 +125,10 @@ let timed name f =
 (* The experiment itself lives in Sqed_exp.Fig3, shared with the
    `sepe fig3` subcommand; the bench keeps the witness phase off so the
    workload matches earlier bench runs. *)
-let fig3 () = Sqed_exp.Fig3.run ~fast:!fast ~jobs:(jobs_used ()) ~witness:false ()
+let fig3 () =
+  note_summary
+    (Sqed_exp.Fig3.run ~fast:!fast ~jobs:(jobs_used ()) ~witness:false
+       ?checkpoint:!checkpoint ())
 
 (* ------------------------------------------------------------------ *)
 (* E2 / Table 1: injected single-instruction bugs                      *)
@@ -225,10 +239,72 @@ let table1 () =
     if !fast then [ Bug.Bug_add; Bug.Bug_xor; Bug.Bug_sw ]
     else Bug.all_single
   in
-  let rows =
-    Pool.with_pool ~jobs:(jobs_used ()) (fun p -> Pool.map p run_bug bugs)
+  (* Supervised fan-out with checkpoint/resume, like fig3: journaled rows
+     are reprinted verbatim, a failed bug degrades to one marked row. *)
+  let key bug = "table1/" ^ Bug.name bug in
+  let journal = Option.map Journal.open_ !checkpoint in
+  let resumed_rows =
+    match journal with
+    | None -> []
+    | Some j ->
+        List.filter_map
+          (fun bug ->
+            Option.map
+              (fun row -> (bug, row))
+              (Option.bind (Journal.find j (key bug))
+                 Sqed_obs.Json.to_string_opt))
+          bugs
   in
-  List.iter (fun row -> Printf.printf "%s\n" row) rows
+  if resumed_rows <> [] then
+    Printf.printf "checkpoint: resuming, %d of %d rows already journaled\n%!"
+      (List.length resumed_rows) (List.length bugs);
+  let to_run =
+    List.filter (fun bug -> not (List.mem_assoc bug resumed_rows)) bugs
+  in
+  let run_bug bug =
+    let row = run_bug bug in
+    (match journal with
+    | Some j -> (
+        match Journal.try_record j (key bug) (Sqed_obs.Json.String row) with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.printf "checkpoint: write failed for %s (%s); continuing\n%!"
+              (key bug) msg)
+    | None -> ());
+    row
+  in
+  let outcomes =
+    Pool.with_pool ~jobs:(jobs_used ()) (fun p ->
+        Pool.map_result p run_bug to_run)
+  in
+  let computed = List.combine to_run outcomes in
+  let verdicts =
+    List.filter_map
+      (fun bug ->
+        match List.assoc_opt bug computed with
+        | None ->
+            Printf.printf "%s\n" (List.assoc bug resumed_rows);
+            None
+        | Some (Ok row) ->
+            Printf.printf "%s\n" row;
+            Some (Verdict.Ok ())
+        | Some (Error (e : Pool.task_error)) ->
+            let msg =
+              Printf.sprintf "%s (attempts: %d)" e.Pool.error e.Pool.attempts
+            in
+            Printf.printf "%-6s | %-42s | %s\n"
+              (match Bug.table1_row bug with Some r -> r | None -> "?")
+              (Bug.describe bug)
+              ((if e.Pool.exhausted then "UNKNOWN: " else "FAILED: ") ^ msg);
+            Some (if e.Pool.exhausted then Verdict.Unknown msg
+                  else Verdict.Failed msg))
+      bugs
+  in
+  Option.iter Journal.close journal;
+  let summary = Verdict.count ~skipped:(List.length resumed_rows) verdicts in
+  if Verdict.degraded summary || summary.Verdict.skipped > 0 then
+    Printf.printf "%s\n%!" (Verdict.summary_line summary);
+  note_summary summary
 
 (* ------------------------------------------------------------------ *)
 (* E3 / Fig. 4: multiple-instruction bugs                              *)
@@ -531,8 +607,8 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* Flags: --fast, --jobs N, --json PATH, --no-metrics, --no-simplify,
-     --no-aig, --trace PATH, --metrics-json PATH; everything else names
-     an experiment. *)
+     --no-aig, --trace PATH, --metrics-json PATH, --checkpoint FILE,
+     --fault-inject SPEC; everything else names an experiment. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--fast" :: rest ->
@@ -568,6 +644,17 @@ let () =
     | "--metrics-json" :: path :: rest ->
         metrics_json_path := Some path;
         parse acc rest
+    | "--checkpoint" :: path :: rest ->
+        checkpoint := Some path;
+        parse acc rest
+    | "--fault-inject" :: spec :: rest -> (
+        (* Deterministic fault injection (see Sqed_resil.Fault); overrides
+           any SEPE_FAULT environment spec. *)
+        match Sqed_resil.Fault.configure spec with
+        | () -> parse acc rest
+        | exception Invalid_argument msg ->
+            Printf.eprintf "--fault-inject: %s\n" msg;
+            exit 1)
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] args in
@@ -607,11 +694,15 @@ let () =
         (List.length (Span.events ()))
         (Span.dropped ())
   | None -> ());
-  match !metrics_json_path with
+  (match !metrics_json_path with
   | Some path ->
       let oc = open_out path in
       output_string oc (Sqed_obs.Json.to_string (Metrics.to_json ()));
       output_char oc '\n';
       close_out oc;
       Printf.printf "wrote %s\n%!" path
-  | None -> ()
+  | None -> ());
+  if Verdict.degraded !campaign then begin
+    Printf.printf "%s\n%!" (Verdict.summary_line !campaign);
+    exit (Verdict.exit_code !campaign)
+  end

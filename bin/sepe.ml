@@ -11,8 +11,27 @@ module Synth = Sqed_synth
 module Pool = Sqed_par.Pool
 module Metrics = Sqed_obs.Metrics
 module Span = Sqed_obs.Trace
+module Verdict = Sqed_resil.Verdict
 
 open Cmdliner
+
+(* Exit code for degraded (but completed) campaigns: 3 = inconclusive
+   cases only, 4 = at least one hard failure.  Recorded here and applied
+   after [Cmd.eval] returns, so [with_obs]'s finalizers (trace export,
+   metrics report) still run — an [exit] inside a command body would
+   skip them. *)
+let degraded_exit = ref 0
+
+let note_summary s = degraded_exit := max !degraded_exit (Verdict.exit_code s)
+
+let degraded_exits =
+  Cmd.Exit.info 3
+    ~doc:
+      "a campaign completed degraded: some cases inconclusive (budget \
+       exhausted), none failed."
+  :: Cmd.Exit.info 4
+       ~doc:"a campaign completed degraded: at least one case failed hard."
+  :: Cmd.Exit.defaults
 
 (* ---- observability ----------------------------------------------------- *)
 
@@ -26,6 +45,7 @@ type obs_opts = {
   obs_trace : string option;
   obs_no_simplify : bool;
   obs_no_aig : bool;
+  obs_fault : string option;
 }
 
 let obs_t =
@@ -76,15 +96,38 @@ let obs_t =
              For A/B measurements; the smt.aig.* counters record what \
              the layer did when it is on.")
   in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-inject" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault-injection sites, e.g. \
+             $(b,pool.task:2,checkpoint.write:1) makes the 2nd pool task \
+             and the 1st checkpoint append raise.  Sites: pool.task, \
+             sat.solve, smt.bitblast, checkpoint.write; clause forms \
+             site:N, site:N/M, site:pP\\@SEED.  Overrides the SEPE_FAULT \
+             environment variable.  For exercising the degraded paths — \
+             campaigns report the injected failures and keep going.")
+  in
   Term.(
     const
-      (fun obs_metrics obs_metrics_json obs_trace obs_no_simplify obs_no_aig ->
-        { obs_metrics; obs_metrics_json; obs_trace; obs_no_simplify; obs_no_aig })
-    $ metrics $ metrics_json $ trace $ no_simplify $ no_aig)
+      (fun obs_metrics obs_metrics_json obs_trace obs_no_simplify obs_no_aig
+           obs_fault ->
+        {
+          obs_metrics;
+          obs_metrics_json;
+          obs_trace;
+          obs_no_simplify;
+          obs_no_aig;
+          obs_fault;
+        })
+    $ metrics $ metrics_json $ trace $ no_simplify $ no_aig $ fault)
 
 let with_obs obs f =
   if obs.obs_no_simplify then Sqed_smt.Solver.simplify_default := false;
   if obs.obs_no_aig then Sqed_smt.Solver.aig_default := false;
+  Option.iter Sqed_resil.Fault.configure obs.obs_fault;
   if obs.obs_metrics || obs.obs_metrics_json <> None then
     Metrics.enabled := true;
   if obs.obs_trace <> None then begin
@@ -451,35 +494,59 @@ let sweep_cmd =
       in
       (bug, V.run ~bug ~method_ ~bound ~time_budget:budget cfg)
     in
-    let results, workers =
+    (* Supervised fan-out: a crashed or budget-exhausted check degrades
+       to one marked row and a nonzero exit, not a dead sweep. *)
+    let outcomes, workers =
       Pool.with_pool ?jobs (fun pool ->
-          let rs = Pool.map pool check bugs in
+          let rs = Pool.map_result pool check bugs in
           (rs, Pool.stats pool))
     in
     let detected = ref 0 in
-    List.iter
-      (fun (bug, r) ->
-        if V.detected r then incr detected;
-        Printf.printf "%-18s %-24s %8.2fs  %d conflicts\n" (Bug.name bug)
-          (V.outcome_to_string r)
-          r.V.stats.Sqed_bmc.Engine.solve_time
-          r.V.stats.Sqed_bmc.Engine.sat_conflicts)
-      results;
+    let verdicts =
+      List.map2
+        (fun bug outcome ->
+          match outcome with
+          | Ok ((_, r) as row) ->
+              if V.detected r then incr detected;
+              Printf.printf "%-18s %-24s %8.2fs  %d conflicts\n" (Bug.name bug)
+                (V.outcome_to_string r)
+                r.V.stats.Sqed_bmc.Engine.solve_time
+                r.V.stats.Sqed_bmc.Engine.sat_conflicts;
+              (match r.V.outcome with
+              | Sqed_bmc.Engine.Gave_up k ->
+                  Verdict.Unknown (Printf.sprintf "gave up at depth %d" k)
+              | _ -> Verdict.Ok row)
+          | Error (e : Pool.task_error) ->
+              let msg =
+                Printf.sprintf "%s (attempts: %d)" e.Pool.error e.Pool.attempts
+              in
+              Printf.printf "%-18s %s\n" (Bug.name bug)
+                ((if e.Pool.exhausted then "UNKNOWN: " else "FAILED: ") ^ msg);
+              if e.Pool.exhausted then Verdict.Unknown msg
+              else Verdict.Failed msg)
+        bugs outcomes
+    in
     Printf.printf "detected %d/%d bugs (%s, bound %d)\n" !detected
       (List.length bugs)
       (V.method_name method_)
       bound;
+    let summary = Verdict.count verdicts in
+    if Verdict.degraded summary then
+      Printf.printf "%s\n%!" (Verdict.summary_line summary);
+    note_summary summary;
     if stats then begin
       print_worker_stats workers;
       List.iter
-        (fun (bug, r) ->
-          Printf.printf "-- %s\n" (Bug.name bug);
-          print_solver_stats r.V.stats)
-        results
+        (function
+          | Verdict.Ok (bug, r) ->
+              Printf.printf "-- %s\n" (Bug.name bug);
+              print_solver_stats r.V.stats
+          | Verdict.Unknown _ | Verdict.Failed _ -> ())
+        verdicts
     end
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "sweep" ~exits:degraded_exits
        ~doc:
          "Run BMC against every bug in the catalog, fanning the checks out \
           over parallel worker domains.")
@@ -802,19 +869,31 @@ let fig3_cmd =
             "Skip the trailing tiny BMC verification (keeps the run \
              synthesis-only).")
   in
-  let run obs fast no_witness jobs =
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal each completed (case, engine, seed) cell to $(docv) \
+             (append-only JSON lines) and resume from it: a rerun with the \
+             same file skips already-journaled cells and reuses their \
+             numbers.")
+  in
+  let run obs fast no_witness jobs checkpoint =
     with_obs obs @@ fun () ->
-    Sqed_exp.Fig3.run ~fast
-      ~jobs:(Option.value jobs ~default:0)
-      ~witness:(not no_witness) ()
+    note_summary
+      (Sqed_exp.Fig3.run ~fast
+         ~jobs:(Option.value jobs ~default:0)
+         ~witness:(not no_witness) ?checkpoint ())
   in
   Cmd.v
-    (Cmd.info "fig3"
+    (Cmd.info "fig3" ~exits:degraded_exits
        ~doc:
          "Run the paper's Fig. 3 synthesis experiment (plus a tiny BMC \
           witness), e.g. with --trace/--metrics to profile the whole \
           pipeline.")
-    Term.(const run $ obs_t $ fast $ no_witness $ jobs_arg)
+    Term.(const run $ obs_t $ fast $ no_witness $ jobs_arg $ checkpoint)
 
 let main =
   Cmd.group
@@ -827,4 +906,4 @@ let main =
       sim_cmd; campaign_cmd; solve_cmd; prove_cmd; doctor_cmd; fig3_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () = exit (match Cmd.eval main with 0 -> !degraded_exit | n -> n)

@@ -9,6 +9,7 @@ module Encode = Sqed_isa.Encode
    counterexample trace. *)
 module Span = Sqed_obs.Trace
 module Metrics = Sqed_obs.Metrics
+module Budget = Sqed_resil.Budget
 
 let sp_depth = Span.kind ~cat:"bmc" "bmc.depth"
 let sp_unroll = Span.kind ~cat:"bmc" "bmc.unroll"
@@ -96,6 +97,12 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) time_budget in
   let solver = Solver.create () in
+  (* Bound the whole bounded run, unrolling and encoding included: the
+     time budget is installed as a solver budget, so deep unrolls that
+     never reach the CDCL loop still respect it. *)
+  Option.iter
+    (fun d -> Solver.set_budget solver (Budget.create ~deadline:d ()))
+    deadline;
   let u = Unroll.create model.Qed_top.circuit in
   (* QED-consistent symbolic initial state. *)
   List.iter
@@ -105,6 +112,7 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
   let bounds = ref 0 in
   (try
      for k = 1 to bound do
+       try
        (* The whole depth (unrolling included) sits in one span; [Exit]
           raised on a counterexample still closes it via Fun.protect. *)
        Span.with_span ~args:[ ("k", string_of_int k) ] sp_depth @@ fun () ->
@@ -144,6 +152,11 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
            result := Gave_up k;
            raise Exit
        | _ -> ())
+       with Budget.Exhausted _ ->
+         (* Budget died during unrolling/encoding (Solver.check maps its
+            own exhaustion to Unknown): an inconclusive depth. *)
+         result := Gave_up k;
+         raise Exit
      done
    with Exit -> ());
   let st = Solver.stats solver in
@@ -189,17 +202,24 @@ let prove ?max_conflicts ?time_budget ~max_k model =
   in
   (* Base case: ordinary BMC up to max_k. *)
   let base_solver = Solver.create () in
+  Option.iter
+    (fun d -> Solver.set_budget base_solver (Budget.create ~deadline:d ()))
+    deadline;
   let base = Unroll.create model.Qed_top.circuit in
   List.iter
     (fun (_label, t) -> Solver.assert_ base_solver t)
     (Qed_top.init_assumptions model);
   (* Inductive step: arbitrary start, constraints at every step. *)
   let step_solver = Solver.create () in
+  Option.iter
+    (fun d -> Solver.set_budget step_solver (Budget.create ~deadline:d ()))
+    deadline;
   let step = Unroll.create ~free_initial_state:true model.Qed_top.circuit in
   let bounds = ref 0 in
   let result = ref (Not_inductive max_k) in
   (try
      for k = 1 to max_k do
+       try
        (* base: no counterexample of depth k *)
        Unroll.extend_to base k;
        let t = k - 1 in
@@ -247,6 +267,9 @@ let prove ?max_conflicts ?time_budget ~max_k model =
          result := Proof_gave_up k;
          raise Exit
        end
+       with Budget.Exhausted _ ->
+         result := Proof_gave_up k;
+         raise Exit
      done
    with Exit -> ());
   let st = Solver.stats base_solver in

@@ -67,18 +67,27 @@ let synthesize_table ?options ?cases ?jobs ?pool cfg =
   in
   let partition = Qed.Partition.make Qed.Partition.Edsep cfg in
   (* One synthesis task per original instruction; each worker domain owns
-     its solvers and term universe, results return in case order. *)
+     its solvers and term universe, results return in case order.  A
+     case whose task failed (crash survived retries, budget exhausted)
+     degrades to its built-in template instead of killing the campaign:
+     it contributes no programs, so [chosen = None] below selects the
+     fallback entry. *)
   let results =
     List.map
-      (fun c ->
-        let programs = c.Synth.Campaign.result.Synth.Engine.programs in
-        {
-          case = c.Synth.Campaign.case;
-          programs;
-          chosen = choose partition c.Synth.Campaign.case programs;
-          elapsed = c.Synth.Campaign.result.Synth.Engine.elapsed;
-        })
-      (Synth.Campaign.synthesize_all ?jobs ?pool ~options
+      (fun (v : Synth.Campaign.case_verdict) ->
+        let case = v.Synth.Campaign.vcase in
+        match v.Synth.Campaign.verdict with
+        | Sqed_resil.Verdict.Ok result ->
+            let programs = result.Synth.Engine.programs in
+            {
+              case;
+              programs;
+              chosen = choose partition case programs;
+              elapsed = result.Synth.Engine.elapsed;
+            }
+        | Sqed_resil.Verdict.Unknown _ | Sqed_resil.Verdict.Failed _ ->
+            { case; programs = []; chosen = None; elapsed = 0.0 })
+      (Synth.Campaign.synthesize_verdicts ?jobs ?pool ~options
          ~library:Synth.Library_.default cases)
   in
   let entries =

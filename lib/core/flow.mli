@@ -26,6 +26,11 @@ val synthesize_table :
     per-instruction runs out over that many worker domains (default: the
     [SEPE_JOBS] environment knob, see {!Sqed_par.Pool.default_jobs});
     [?pool] reuses a caller-owned pool instead (useful to read
-    {!Sqed_par.Pool.stats} afterwards). *)
+    {!Sqed_par.Pool.stats} afterwards).
+
+    The fan-out is supervised ({!Sqed_synth.Campaign.synthesize_verdicts}):
+    a case whose synthesis task crashes or exhausts its budget degrades
+    to its built-in template ([chosen = None], no programs) rather than
+    aborting the whole table. *)
 
 val builtin_table : Config.t -> Sqed_qed.Equiv_table.t

@@ -5,31 +5,72 @@
    workload is identical wherever it runs.  The optional witness phase
    appends one tiny BMC verification so a `sepe fig3 --trace` trace also
    contains bmc.depth spans; the bench harness keeps it off to preserve
-   the historical fig3 workload. *)
+   the historical fig3 workload.
+
+   The fan-out is supervised: each (case, engine, seed) cell reports a
+   verdict, a crashing cell degrades to a FAILED row instead of killing
+   the campaign, and `?checkpoint` journals completed cells so an
+   interrupted run can resume skipping them. *)
 
 module Config = Sqed_proc.Config
 module Bug = Sqed_proc.Bug
 module V = Sepe_sqed.Verifier
 module Synth = Sqed_synth
 module Pool = Sqed_par.Pool
+module Json = Sqed_obs.Json
+module Journal = Sqed_resil.Journal
+module Verdict = Sqed_resil.Verdict
 
 let line = String.make 72 '-'
 
 let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
 
-let run ?(fast = false) ?(jobs = 0) ?(witness = false) () =
+let engine_name = function `Hpf -> "hpf" | `Iter -> "iter"
+
+let cell_key (case, engine, seed) =
+  Printf.sprintf "fig3/%s/%s/%d" case (engine_name engine) seed
+
+let cell_to_json (_, _, _, elapsed, tried, total) =
+  Json.Obj
+    [
+      ("elapsed", Json.Float elapsed);
+      ("tried", Json.Int tried);
+      ("total", Json.Int total);
+    ]
+
+let cell_of_json (case, engine, seed) j =
+  match
+    ( Option.bind (Json.member "elapsed" j) Json.to_float_opt,
+      Option.bind (Json.member "tried" j) Json.to_int_opt,
+      Option.bind (Json.member "total" j) Json.to_int_opt )
+  with
+  | Some elapsed, Some tried, Some total ->
+      Some (case, engine, seed, elapsed, tried, total)
+  | _ -> None
+
+let run ?(fast = false) ?(jobs = 0) ?(witness = false) ?checkpoint ?cases
+    ?seeds ?k ?time_budget () =
   let jobs = if jobs > 0 then jobs else Pool.default_jobs () in
   section
     "Fig. 3 - time to synthesize equivalent programs per original \
      instruction\n(HPF-CEGIS vs iterative CEGIS; the classical baseline is \
      E4)";
   let cases =
-    if fast then [ "ADD"; "SUB"; "XOR"; "OR" ]
-    else List.map (fun s -> s.Synth.Component.g_name) Synth.Library_.specs
+    match cases with
+    | Some cs -> cs
+    | None ->
+        if fast then [ "ADD"; "SUB"; "XOR"; "OR" ]
+        else List.map (fun s -> s.Synth.Component.g_name) Synth.Library_.specs
   in
-  let k = if fast then 2 else 8 in
-  let seeds = if fast then [ 1 ] else [ 1; 2; 3 ] in
-  let budget = if fast then 60.0 else 300.0 in
+  let k = match k with Some k -> k | None -> if fast then 2 else 8 in
+  let seeds =
+    match seeds with Some s -> s | None -> if fast then [ 1 ] else [ 1; 2; 3 ]
+  in
+  let budget =
+    match time_budget with
+    | Some b -> b
+    | None -> if fast then 60.0 else 300.0
+  in
   let mk_options seed =
     {
       Synth.Engine.default_options with
@@ -44,8 +85,6 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) () =
     "library: 30 components; k=%d programs of >=3 components; multisets of \
      size 3; xlen=8; budget %.0fs/run; mean over %d seeds\n\n"
     k budget (List.length seeds);
-  Printf.printf "%-8s %12s %12s %10s %14s\n" "case" "HPF (s)" "iter (s)"
-    "HPF/iter" "HPF multisets";
   (* One pool task per (case, engine, seed) cell.  Cells are seeded and
      independent, so the numbers are identical for any jobs value; rows
      are aggregated and printed in case order afterwards. *)
@@ -57,40 +96,97 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) () =
           seeds)
       cases
   in
-  let run_cell (case, engine, seed) =
+  (* Checkpoint/resume: journaled cells are skipped, their stored numbers
+     enter the table as if just computed. *)
+  let journal = Option.map Journal.open_ checkpoint in
+  let resumed, to_run =
+    match journal with
+    | None -> ([], tasks)
+    | Some j ->
+        List.partition_map
+          (fun task ->
+            match Option.bind (Journal.find j (cell_key task)) (cell_of_json task) with
+            | Some cell -> Either.Left cell
+            | None -> Either.Right task)
+          tasks
+  in
+  if resumed <> [] then
+    Printf.printf "checkpoint: resuming, %d of %d cells already journaled\n%!"
+      (List.length resumed) (List.length tasks);
+  let run_cell ((case, engine, seed) as task) =
     let spec = Synth.Library_.spec case in
     let options = mk_options seed in
-    match engine with
-    | `Hpf ->
-        let r =
-          Synth.Hpf.synthesize ~options ~spec ~library:Synth.Library_.default
-            ()
-        in
-        ( case,
-          engine,
-          seed,
-          r.Synth.Engine.elapsed,
-          r.Synth.Engine.stats.Synth.Cegis.multisets_tried,
-          r.Synth.Engine.multisets_total )
-    | `Iter ->
-        let r =
-          Synth.Iterative.synthesize ~options ~spec
-            ~library:Synth.Library_.default
-        in
-        (case, engine, seed, r.Synth.Engine.elapsed, 0, 0)
+    let cell =
+      match engine with
+      | `Hpf ->
+          let r =
+            Synth.Hpf.synthesize ~options ~spec ~library:Synth.Library_.default
+              ()
+          in
+          ( case,
+            engine,
+            seed,
+            r.Synth.Engine.elapsed,
+            r.Synth.Engine.stats.Synth.Cegis.multisets_tried,
+            r.Synth.Engine.multisets_total )
+      | `Iter ->
+          let r =
+            Synth.Iterative.synthesize ~options ~spec
+              ~library:Synth.Library_.default
+          in
+          (case, engine, seed, r.Synth.Engine.elapsed, 0, 0)
+    in
+    (* Journal immediately (workers record concurrently; the journal is
+       mutex-protected) so a crash mid-campaign loses at most in-flight
+       cells.  A failed append — injected or real — degrades to an
+       unjournaled cell: the result still enters this run's table, only
+       a future resume will recompute it. *)
+    (match journal with
+    | Some j -> (
+        match Journal.try_record j (cell_key task) (cell_to_json cell) with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.printf "checkpoint: write failed for %s (%s); continuing\n%!"
+              (cell_key task) msg)
+    | None -> ());
+    cell
   in
-  let cells = Pool.with_pool ~jobs (fun p -> Pool.map p run_cell tasks) in
+  let outcomes =
+    Pool.with_pool ~jobs (fun p -> Pool.map_result p run_cell to_run)
+  in
+  let verdicts =
+    List.map2
+      (fun task outcome ->
+        match outcome with
+        | Ok cell -> (task, Verdict.Ok cell)
+        | Error (e : Pool.task_error) ->
+            let msg =
+              Printf.sprintf "%s (attempts: %d)" e.Pool.error e.Pool.attempts
+            in
+            if e.Pool.exhausted then (task, Verdict.Unknown msg)
+            else (task, Verdict.Failed msg))
+      to_run outcomes
+  in
+  let cells =
+    resumed
+    @ List.filter_map
+        (fun (_, v) -> match v with Verdict.Ok c -> Some c | _ -> None)
+        verdicts
+  in
+  Printf.printf "%-8s %12s %12s %10s %14s\n" "case" "HPF (s)" "iter (s)"
+    "HPF/iter" "HPF multisets";
   let rows = ref [] in
   List.iter
     (fun case ->
-      let mean engine =
-        let ts =
-          List.filter_map
-            (fun (c, e, _, t, _, _) ->
-              if c = case && e = engine then Some t else None)
-            cells
-        in
-        List.fold_left ( +. ) 0.0 ts /. Float.of_int (List.length ts)
+      let times engine =
+        List.filter_map
+          (fun (c, e, _, t, _, _) ->
+            if c = case && e = engine then Some t else None)
+          cells
+      in
+      let mean = function
+        | [] -> Float.nan
+        | ts -> List.fold_left ( +. ) 0.0 ts /. Float.of_int (List.length ts)
       in
       (* Mirror the sequential report: the multiset counters of the last
          seed's HPF run. *)
@@ -104,18 +200,32 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) () =
         | Some (_, _, _, _, tried, total) -> (tried, total)
         | None -> (0, 0)
       in
-      let th = mean `Hpf and ti = mean `Iter in
+      let th = mean (times `Hpf) and ti = mean (times `Iter) in
+      let fmt t = if Float.is_nan t then "-" else Printf.sprintf "%.2f" t in
       rows := (case, th, ti) :: !rows;
-      Printf.printf "%-8s %12.2f %12.2f %10.2f %9d/%d\n%!" case th ti
-        (th /. ti) tried total_ms)
+      Printf.printf "%-8s %12s %12s %10s %9d/%d\n%!" case (fmt th) (fmt ti)
+        (fmt (th /. ti))
+        tried total_ms)
     cases;
-  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 !rows in
+  (* Degraded cells, one line each, after the table. *)
+  List.iter
+    (fun (task, v) ->
+      match v with
+      | Verdict.Ok _ -> ()
+      | Verdict.Unknown msg ->
+          Printf.printf "UNKNOWN %s: %s\n%!" (cell_key task) msg
+      | Verdict.Failed msg ->
+          Printf.printf "FAILED  %s: %s\n%!" (cell_key task) msg)
+    verdicts;
+  let complete = List.filter (fun (_, t, i) -> not (Float.is_nan (t +. i))) !rows in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 complete in
   let th = total (fun (_, a, _) -> a) and ti = total (fun (_, _, b) -> b) in
-  Printf.printf
-    "\noverall: HPF %.1fs vs iterative %.1fs -> %.0f%% time reduction \
-     (paper: ~50%% average)\n"
-    th ti
-    (100.0 *. (1.0 -. (th /. ti)));
+  if ti > 0.0 then
+    Printf.printf
+      "\noverall: HPF %.1fs vs iterative %.1fs -> %.0f%% time reduction \
+       (paper: ~50%% average)\n"
+      th ti
+      (100.0 *. (1.0 -. (th /. ti)));
   if witness then begin
     Printf.printf
       "\nwitness BMC: SEPE-SQED detecting the ADD mutation on the tiny core\n%!";
@@ -124,4 +234,11 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) () =
         Config.tiny
     in
     Printf.printf "witness: %s\n%!" (V.outcome_to_string r)
-  end
+  end;
+  Option.iter Journal.close journal;
+  let summary =
+    Verdict.count ~skipped:(List.length resumed) (List.map snd verdicts)
+  in
+  if Verdict.degraded summary || summary.Verdict.skipped > 0 then
+    Printf.printf "%s\n%!" (Verdict.summary_line summary);
+  summary

@@ -247,3 +247,10 @@ let to_int_opt = function
   | Int i -> Some i
   | Float f when Float.is_integer f -> Some (int_of_float f)
   | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None

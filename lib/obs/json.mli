@@ -22,3 +22,8 @@ val member : string -> t -> t option
 (** [member k j] is the value bound to [k] when [j] is an object. *)
 
 val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts [Float] and [Int] (integral floats round-trip as either). *)
+
+val to_string_opt : t -> string option

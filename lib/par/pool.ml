@@ -1,4 +1,15 @@
 module Metrics = Sqed_obs.Metrics
+module Trace = Sqed_obs.Trace
+module Budget = Sqed_resil.Budget
+module Fault = Sqed_resil.Fault
+
+(* Supervision instruments ([add_always]: they must report under
+   [--stats] with observability off, and the smoke checks assert their
+   presence in every metrics snapshot). *)
+let m_retries = Metrics.counter "resil.retries"
+let m_task_failures = Metrics.counter "resil.task_failures"
+let m_tasks_skipped = Metrics.counter "resil.tasks_skipped"
+let sp_retry = Trace.kind ~cat:"resil" "resil.retry"
 
 type task = int -> unit
 (** A queued task receives the index of the worker slot executing it. *)
@@ -102,32 +113,54 @@ let submit_batch p wrap n =
   let b =
     { remaining = n; batch_done = Condition.create (); failure = None }
   in
-  let guarded i w =
-    let t0 = Unix.gettimeofday () in
-    let fail =
-      try wrap i; None
-      with e -> Some (e, Printexc.get_raw_backtrace ())
+  let guarded ~failfast i w =
+    (* Fail-fast drain: once any task of the batch has failed, still-
+       queued tasks are skipped (their work would be discarded by the
+       re-raise anyway).  Only the queued path does this — [jobs = 1]
+       keeps the historical run-everything-then-raise behavior. *)
+    let skip =
+      failfast
+      && begin
+           Mutex.lock p.mutex;
+           let s = b.failure <> None in
+           Mutex.unlock p.mutex;
+           s
+         end
     in
-    let dt = Unix.gettimeofday () -. t0 in
-    (* Counter writes happen before the batch-done critical section: the
-       mutex release/acquire pair is what makes them visible to a [stats]
-       read issued after [map]/[iter] returns. *)
-    let c = p.counters.(w) in
-    Metrics.add_always c.c_tasks 1;
-    Metrics.add_always c.c_busy_us (to_us dt);
-    Mutex.lock p.mutex;
-    (match fail with
-     | Some _ when b.failure = None -> b.failure <- fail
-     | _ -> ());
-    b.remaining <- b.remaining - 1;
-    if b.remaining = 0 then Condition.broadcast b.batch_done;
-    Mutex.unlock p.mutex
+    if skip then begin
+      Metrics.add_always m_tasks_skipped 1;
+      Mutex.lock p.mutex;
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast b.batch_done;
+      Mutex.unlock p.mutex
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let fail =
+        try wrap i; None
+        with e -> Some (e, Printexc.get_raw_backtrace ())
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      (* Counter writes happen before the batch-done critical section: the
+         mutex release/acquire pair is what makes them visible to a [stats]
+         read issued after [map]/[iter] returns. *)
+      let c = p.counters.(w) in
+      Metrics.add_always c.c_tasks 1;
+      Metrics.add_always c.c_busy_us (to_us dt);
+      Mutex.lock p.mutex;
+      (match fail with
+       | Some _ when b.failure = None -> b.failure <- fail
+       | _ -> ());
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast b.batch_done;
+      Mutex.unlock p.mutex
+    end
   in
   if p.n_jobs = 1 then
     (* Inline: deterministic submission order, no queueing (and hence no
        queue wait). *)
     for i = 0 to n - 1 do
-      guarded i 0
+      guarded ~failfast:false i 0
     done
   else begin
     Mutex.lock p.mutex;
@@ -137,7 +170,7 @@ let submit_batch p wrap n =
         (fun w ->
           Metrics.add_always p.counters.(w).c_wait_us
             (to_us (Unix.gettimeofday () -. queued_at));
-          guarded i w)
+          guarded ~failfast:true i w)
         p.queue
     done;
     Condition.broadcast p.nonempty;
@@ -177,6 +210,68 @@ let map_array p f xs =
   end
 
 let map p f xs = Array.to_list (map_array p f (Array.of_list xs))
+
+(* -- supervised mapping ------------------------------------------------- *)
+
+type task_error = { error : string; attempts : int; exhausted : bool }
+
+let run_supervised ~retries ~backoff ~task_deadline f x =
+  let rec attempt k sleep =
+    (* The soft deadline is per *attempt*: a retry gets a fresh window,
+       bounded overall by the retry cap. *)
+    let budget =
+      match task_deadline with
+      | None -> Budget.unlimited
+      | Some d -> Budget.create ~deadline:(Unix.gettimeofday () +. d) ()
+    in
+    match
+      Budget.with_current budget (fun () ->
+          Fault.check "pool.task";
+          f x)
+    with
+    | r -> Ok r
+    | exception e ->
+        let exhausted =
+          match e with Budget.Exhausted _ -> true | _ -> false
+        in
+        let transient =
+          (* Budget exhaustion would recur (the work is simply too big)
+             and injected faults are deterministic by design; everything
+             else is worth a bounded retry. *)
+          match e with
+          | Budget.Exhausted _ | Fault.Injected _ -> false
+          | _ -> true
+        in
+        if transient && k < retries then begin
+          Metrics.add_always m_retries 1;
+          Trace.with_span sp_retry (fun () -> Unix.sleepf sleep);
+          attempt (k + 1) (sleep *. 2.)
+        end
+        else begin
+          Metrics.add_always m_task_failures 1;
+          Error { error = Printexc.to_string e; attempts = k + 1; exhausted }
+        end
+  in
+  attempt 0 backoff
+
+let map_result p ?(retries = 1) ?(backoff = 0.05) ?task_deadline f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let results =
+      Array.make n
+        (Error { error = "task never ran"; attempts = 0; exhausted = false })
+    in
+    (* The wrap never raises, so the batch always runs to completion:
+       supervision replaces fail-fast semantics with per-task verdicts. *)
+    submit_batch p
+      (fun i ->
+        results.(i) <-
+          run_supervised ~retries ~backoff ~task_deadline f xs.(i))
+      n;
+    Array.to_list results
+  end
 
 let iter p f xs =
   let xs = Array.of_list xs in

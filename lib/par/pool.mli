@@ -25,13 +25,54 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel map preserving input order.  Blocks until every task has
-    finished.  If any task raised, the first exception observed is
-    re-raised after the whole batch has drained. *)
+(** Parallel map preserving input order.  Blocks until the batch has
+    drained.  If any task raised, the first exception observed is
+    re-raised at the join point; with [jobs > 1] the failure also stops
+    dispatch — tasks still queued when it is recorded are skipped
+    (fail-fast drain; counted in [resil.tasks_skipped]).  With
+    [jobs = 1] every task runs in submission order before the re-raise,
+    exactly as before.  For campaigns that must survive failing cases,
+    use {!map_result}. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val iter : t -> ('a -> unit) -> 'a list -> unit
+
+(** {1 Supervised mapping} *)
+
+type task_error = {
+  error : string;  (** printed form of the final attempt's exception *)
+  attempts : int;  (** attempts made, including the first *)
+  exhausted : bool;
+      (** the final failure was {!Sqed_resil.Budget.Exhausted} — an
+          inconclusive timeout rather than a hard error *)
+}
+
+val map_result :
+  t ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?task_deadline:float ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, task_error) result list
+(** Supervised parallel map: each task yields [Ok result] or
+    [Error task_error]; the batch always runs to completion, so one
+    crashing case cannot take down a campaign.
+
+    Failed tasks are retried up to [retries] times (default 1) with
+    exponentially growing sleep starting at [backoff] seconds (default
+    0.05) — except {!Sqed_resil.Budget.Exhausted} (the work is simply
+    over budget; retrying would recur) and {!Sqed_resil.Fault.Injected}
+    (deterministic by design), which fail immediately.  Retries are
+    counted in [resil.retries] and wrapped in [resil.retry] spans;
+    final failures in [resil.task_failures].
+
+    [task_deadline] imposes a soft per-attempt wall-clock budget,
+    installed as the domain's ambient {!Sqed_resil.Budget.current} so
+    budget-aware layers (SAT search, bit-blasting, preprocessing) honor
+    it with no extra plumbing.  Tasks also hit the [pool.task] fault
+    injection site before each attempt. *)
 
 type worker_stats = {
   worker : int;  (** 0 is the slot used by inline execution ([jobs = 1]) *)

@@ -1,0 +1,43 @@
+(** Deterministic fault injection.
+
+    Named injection sites are compiled into the stack at negligible
+    cost (a single boolean load when injection is disarmed).  A fault
+    spec arms chosen sites; the [n]-th {!check} of an armed site raises
+    {!Injected}, letting tests and operators prove that campaigns
+    degrade — partial tables, [Failed] verdicts — instead of crashing.
+
+    Current sites: [pool.task] (before a pool task body runs),
+    [sat.solve] (SAT solve entry), [smt.bitblast] (bit-blaster entry),
+    [checkpoint.write] (journal append).
+
+    Spec grammar (comma-separated clauses):
+    - [site:N]      — fire on exactly the [N]-th check of [site] (1-based)
+    - [site:N/M]    — fire on the [N]-th, then every [M]-th check after
+    - [site:pP@S]   — fire each check with probability [P]% using a
+                      deterministic per-site generator seeded with [S]
+
+    The spec comes from the [SEPE_FAULT] environment variable (read on
+    first use) or from {!configure} ([--fault-inject] on the CLIs);
+    {!configure} overrides the environment.  Counters are per-site and
+    mutex-protected, so determinism of [site:N] holds across worker
+    domains for the total order of checks, though which task observes
+    the [N]-th check depends on scheduling. *)
+
+exception Injected of string
+(** [Injected site] — the simulated fault.  Deliberately deterministic:
+    retry layers must treat it as a persistent failure, not transient. *)
+
+val configure : string -> unit
+(** Arm sites from a spec string; [""] disarms everything.  Raises
+    [Invalid_argument] on a malformed spec. *)
+
+val active : unit -> bool
+(** True when any site is armed. *)
+
+val check : string -> unit
+(** [check site] — injection point.  Raises {!Injected} when the armed
+    schedule for [site] says this call fails; otherwise a cheap no-op. *)
+
+val reset : unit -> unit
+(** Disarm all sites and zero the per-site counters (also forgets the
+    [SEPE_FAULT] spec for the rest of the process). *)

@@ -1,0 +1,123 @@
+module Json = Sqed_obs.Json
+module Metrics = Sqed_obs.Metrics
+
+let m_records = Metrics.counter "resil.checkpoint.records"
+let m_resumed = Metrics.counter "resil.checkpoint.resumed"
+let m_torn = Metrics.counter "resil.checkpoint.torn_lines"
+let m_errors = Metrics.counter "resil.checkpoint.errors"
+
+type t = {
+  oc : out_channel;
+  table : (string, Json.t) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let parse_line line =
+  match Json.parse line with
+  | Ok j -> (
+      match (Json.member "key" j, Json.member "result" j) with
+      | Some (Json.String k), Some r -> Some (k, r)
+      | _ -> None)
+  | Error _ -> None
+
+let load_existing table path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match parse_line line with
+              | Some (k, r) ->
+                  Hashtbl.replace table k r;
+                  Metrics.add_always m_resumed 1
+              | None ->
+                  (* Torn or corrupt line — a crash mid-append.  Only
+                     the trailing line can legitimately be torn, but we
+                     tolerate (and count) any bad line rather than
+                     refuse to resume. *)
+                  Metrics.add_always m_torn 1
+          done
+        with End_of_file -> ())
+  end
+
+(* A crash can leave the file without a trailing newline (a torn last
+   line); appending straight after it would fuse the next record onto
+   the torn bytes and corrupt it too. *)
+let ends_with_newline path =
+  if not (Sys.file_exists path) then true
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        len = 0
+        ||
+        (seek_in ic (len - 1);
+         input_char ic = '\n'))
+  end
+
+let open_ path =
+  let table = Hashtbl.create 64 in
+  load_existing table path;
+  let fresh_line = ends_with_newline path in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if not fresh_line then begin
+    output_char oc '\n';
+    flush oc
+  end;
+  { oc; table; mutex = Mutex.create () }
+
+let mem t key =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.mem t.table key in
+  Mutex.unlock t.mutex;
+  r
+
+let find t key =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  r
+
+let record t key result =
+  (* Fault site first: an injected append failure must leave the
+     in-memory table unchanged, like a real write error would. *)
+  Fault.check "checkpoint.write";
+  let line =
+    Json.to_string (Json.Obj [ ("key", Json.String key); ("result", result) ])
+  in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      (* One write + flush per line: with O_APPEND a line this short is
+         atomic in practice, and flushing bounds loss to the last line. *)
+      output_string t.oc (line ^ "\n");
+      flush t.oc;
+      Hashtbl.replace t.table key result;
+      Metrics.add_always m_records 1)
+
+let try_record t key result =
+  match record t key result with
+  | () -> Ok ()
+  | exception e ->
+      Metrics.add_always m_errors 1;
+      Error (Printexc.to_string e)
+
+let entries t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let close t =
+  Mutex.lock t.mutex;
+  close_out_noerr t.oc;
+  Mutex.unlock t.mutex

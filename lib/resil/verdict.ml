@@ -1,0 +1,31 @@
+type 'a t = Ok of 'a | Unknown of string | Failed of string
+
+type summary = { ok : int; unknown : int; failed : int; skipped : int }
+
+let empty = { ok = 0; unknown = 0; failed = 0; skipped = 0 }
+
+let count ?(skipped = 0) verdicts =
+  List.fold_left
+    (fun s v ->
+      match v with
+      | Ok _ -> { s with ok = s.ok + 1 }
+      | Unknown _ -> { s with unknown = s.unknown + 1 }
+      | Failed _ -> { s with failed = s.failed + 1 })
+    { empty with skipped } verdicts
+
+let add a b =
+  {
+    ok = a.ok + b.ok;
+    unknown = a.unknown + b.unknown;
+    failed = a.failed + b.failed;
+    skipped = a.skipped + b.skipped;
+  }
+
+let degraded s = s.unknown > 0 || s.failed > 0
+
+let exit_code s = if s.failed > 0 then 4 else if s.unknown > 0 then 3 else 0
+
+let summary_line s =
+  Printf.sprintf "%s: %d ok, %d unknown, %d failed, %d resumed"
+    (if degraded s then "degraded" else "complete")
+    s.ok s.unknown s.failed s.skipped

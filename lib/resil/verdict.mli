@@ -1,0 +1,33 @@
+(** Per-case campaign verdicts and degradation summaries.
+
+    Campaigns (fig3, table1, verifier sweeps) report one verdict per
+    case instead of dying on the first failure: [Ok] carries the case
+    result, [Unknown] an inconclusive reason (budget exhausted, solver
+    gave up), [Failed] a hard error (task crashed after retries).  A
+    {!summary} aggregates the verdicts — plus cases skipped because a
+    checkpoint journal already had them — into the one-line degradation
+    report and the process exit code. *)
+
+type 'a t =
+  | Ok of 'a
+  | Unknown of string  (** inconclusive: budget/deadline/gave up *)
+  | Failed of string   (** hard failure: crashed after retries *)
+
+type summary = { ok : int; unknown : int; failed : int; skipped : int }
+
+val empty : summary
+
+val count : ?skipped:int -> 'a t list -> summary
+
+val add : summary -> summary -> summary
+
+val degraded : summary -> bool
+(** True when any case ended [Unknown] or [Failed]. *)
+
+val exit_code : summary -> int
+(** [0] clean, [3] degraded by [Unknown] only, [4] any [Failed] —
+    distinct from cmdliner's 123–125 internal codes. *)
+
+val summary_line : summary -> string
+(** One-line degradation report, e.g.
+    ["degraded: 6 ok, 1 unknown, 1 failed, 2 resumed"]. *)

@@ -5,6 +5,8 @@
 
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
+module Budget = Sqed_resil.Budget
+module Fault = Sqed_resil.Fault
 
 (* Registry handles, interned once at module init.  Clause counters are
    bumped at the (relatively cold) clause-push points; the per-search
@@ -158,6 +160,9 @@ type t = {
   mutable simplify_on : bool;
   mutable clauses_at_simplify : int;
   mutable n_solves : int;
+  (* Installed resource budget (deadline + conflict cap), merged with the
+     ambient per-task budget at every cooperative cancellation point. *)
+  mutable budget : Budget.t;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -201,6 +206,7 @@ let create () =
     simplify_on = false;
     clauses_at_simplify = 0;
     n_solves = 0;
+    budget = Budget.unlimited;
   }
 
 let num_vars s = s.nvars
@@ -214,6 +220,16 @@ let stats s =
     restarts = s.n_restarts;
     learnt_literals = s.n_learnt_lits;
   }
+
+let set_budget s b = s.budget <- b
+let budget s = s.budget
+
+(* Cooperative cancellation point for encoding-side work (bit-blaster
+   word loops, AIG conversion): honors both the installed budget and
+   the worker pool's ambient per-task budget. *)
+let check_budget s =
+  Budget.check s.budget;
+  Budget.check (Budget.current ())
 
 (* -- variable order heap (max-heap on activity) ---------------------- *)
 
@@ -619,8 +635,14 @@ let simplify_body s =
         end
       end
     done;
+    (* Preprocessing degrades rather than raising: Simplify stops at the
+       next consistent boundary when the budget runs out, and the pass
+       result so far is still sound to install. *)
+    let stop () =
+      Budget.over s.budget <> None || Budget.over (Budget.current ()) <> None
+    in
     let o =
-      Simplify.run ~nvars:s.nvars ~frozen:(fun v -> s.frozen.(v)) !input
+      Simplify.run ~nvars:s.nvars ~frozen:(fun v -> s.frozen.(v)) ~stop !input
     in
     Metrics.incr m_simp_passes;
     Metrics.add m_simp_elim o.Simplify.stats.Simplify.eliminated_vars;
@@ -1024,6 +1046,34 @@ exception Found of result
 
 let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
   s.has_model <- false;
+  Fault.check "sat.solve";
+  (* Merge the per-call limits with the installed budget and the worker
+     pool's ambient per-task budget into one effective deadline and
+     conflict allowance for this search. *)
+  let task_budget = Budget.current () in
+  let eff_deadline =
+    let d =
+      Float.min
+        (match deadline with Some d -> d | None -> infinity)
+        (Float.min (Budget.deadline s.budget) (Budget.deadline task_budget))
+    in
+    if d = infinity then None else Some d
+  in
+  let eff_max_conflicts =
+    let cap =
+      min
+        (Budget.conflicts_remaining s.budget)
+        (Budget.conflicts_remaining task_budget)
+    in
+    match max_conflicts with
+    | Some m -> Some (min m cap)
+    | None -> if cap = max_int then None else Some cap
+  in
+  let deadline_passed () =
+    match eff_deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
   if not s.ok then Unsat
   else begin
     let assumptions = Array.of_list assumptions in
@@ -1053,6 +1103,10 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
             incr round;
             conflicts_here := 0;
             cancel_until s 0;
+            (* Restart boundary: cheap, and restarts fire every ~100+
+               conflicts, so propagation-heavy instances that rarely hit
+               the modular conflict check still see the deadline here. *)
+            if deadline_passed () then raise (Found Unknown);
             (* search *)
             (try
                while true do
@@ -1060,16 +1114,13 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                  | Some confl ->
                      s.n_conflicts <- s.n_conflicts + 1;
                      incr conflicts_here;
-                     (match max_conflicts with
+                     (match eff_max_conflicts with
                      | Some m when s.n_conflicts - start_conflicts >= m ->
                          raise (Found Unknown)
                      | _ -> ());
-                     (match deadline with
-                     | Some d
-                       when s.n_conflicts land 1023 = 0
-                            && Unix.gettimeofday () > d ->
-                         raise (Found Unknown)
-                     | _ -> ());
+                     if
+                       s.n_conflicts land 1023 = 0 && deadline_passed ()
+                     then raise (Found Unknown);
                      if decision_level s = 0 then begin
                        s.ok <- false;
                        raise (Found Unsat)
@@ -1086,6 +1137,10 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                      if Float.of_int s.learnts.Cvec.sz -. Float.of_int s.trail_sz
                         >= s.max_learnts
                      then begin
+                       (* Learnt-DB reductions are rare and follow long
+                          propagation-heavy stretches — another natural
+                          deadline boundary. *)
+                       if deadline_passed () then raise (Found Unknown);
                        reduce_db s;
                        s.max_learnts <- s.max_learnts *. 1.05
                      end;
@@ -1122,7 +1177,12 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
           assert false
         with Found r -> r
       in
+      (* [cancel_until 0] restores the solver to its root state, so an
+         interrupted (Unknown) solver remains fully reusable. *)
       cancel_until s 0;
+      let used = s.n_conflicts - start_conflicts in
+      Budget.charge s.budget used;
+      Budget.charge task_budget used;
       result
     end
   end

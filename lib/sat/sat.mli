@@ -76,10 +76,33 @@ type result = Sat | Unsat | Unknown
 val solve :
   ?assumptions:lit list -> ?max_conflicts:int -> ?deadline:float -> t -> result
 (** Solve under the given assumptions.  The solver is reusable: further
-    clauses may be added and [solve] called again (incremental use).
-    [max_conflicts] bounds the search effort and [deadline] (an absolute
-    [Unix.gettimeofday] instant, polled every 1024 conflicts) bounds wall
-    time; when either is exceeded the answer is [Unknown]. *)
+    clauses may be added and [solve] called again (incremental use) —
+    including after an interrupted ([Unknown]) search, which backtracks
+    to the root state before returning.  [max_conflicts] bounds the
+    search effort and [deadline] (an absolute [Unix.gettimeofday]
+    instant, polled every 1024 conflicts and at restart and learnt-DB
+    reduction boundaries) bounds wall time; when either is exceeded the
+    answer is [Unknown].  Per-call limits are merged with the installed
+    {!set_budget} budget and the ambient per-task
+    {!Sqed_resil.Budget.current} budget. *)
+
+(** {1 Resource budgets}
+
+    See {!Sqed_resil.Budget}.  An installed budget governs every
+    subsequent [solve] (deadline and conflict cap, charged as searches
+    consume conflicts) and is polled by the encoding layers through
+    {!check_budget} so bit-blasting and preprocessing are bounded too,
+    not just the CDCL loop. *)
+
+val set_budget : t -> Sqed_resil.Budget.t -> unit
+(** Install a budget ({!Sqed_resil.Budget.unlimited} to clear). *)
+
+val budget : t -> Sqed_resil.Budget.t
+
+val check_budget : t -> unit
+(** Cooperative cancellation point for work feeding this solver: raises
+    {!Sqed_resil.Budget.Exhausted} when the installed or ambient
+    per-task budget is spent. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer.  Unconstrained variables

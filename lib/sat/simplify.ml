@@ -47,6 +47,11 @@ let bve_rounds = 3
 
 exception Unsat_found
 
+(* Raised internally when the caller's [stop] poll turns true; each pass
+   catches it at an operation boundary (unit queue drained), so the
+   partial outcome is always consistent and sound to install. *)
+exception Stopped
+
 type state = {
   nvars : int;
   value : int array; (* per var: -1 undef, 0 false, 1 true *)
@@ -188,11 +193,13 @@ let subset_flip a b flip =
   in
   na <= nb && go 0 0
 
-let subsumption_pass st =
+let subsumption_pass ?(stop = fun () -> false) st =
   let checks = ref 0 in
   let snapshot = List.filter (fun c -> not c.dead) st.all in
+  try
   List.iter
     (fun a ->
+      if stop () then raise Stopped;
       if
         (not a.dead)
         && Array.length a.lits <= max_cls_len
@@ -261,10 +268,11 @@ let subsumption_pass st =
         propagate_units st
       end)
     snapshot
+  with Stopped -> ()
 
 (* -- failed-literal probing on the binary implication graph ------------- *)
 
-let probe_pass st =
+let probe_pass ?(stop = fun () -> false) st =
   (* Adjacency from the current binary clauses: (a, b) yields the edges
      [¬a -> b] and [¬b -> a].  Edges from clauses later satisfied or
      strengthened stay logically implied by the original set plus units,
@@ -311,7 +319,7 @@ let probe_pass st =
   (* Probe only literals that actually root an implication chain. *)
   (try
      for v = 0 to st.nvars - 1 do
-       if !visits >= max_probe_visits then raise Exit;
+       if !visits >= max_probe_visits || stop () then raise Exit;
        if st.value.(v) < 0 then begin
          let p = 2 * v in
          if adj.(p) <> [] then probe p;
@@ -399,7 +407,7 @@ let try_eliminate st v =
     end
   end
 
-let bve_pass st =
+let bve_pass ?(stop = fun () -> false) st =
   let eliminated = ref 0 in
   let round = ref 0 in
   let progress = ref true in
@@ -419,19 +427,22 @@ let bve_pass st =
       end
     done;
     let cand = List.sort compare !cand in
-    List.iter
-      (fun (_, v) ->
-        if try_eliminate st v then begin
-          incr eliminated;
-          progress := true
-        end)
-      cand
+    (try
+       List.iter
+         (fun (_, v) ->
+           if stop () then raise Stopped;
+           if try_eliminate st v then begin
+             incr eliminated;
+             progress := true
+           end)
+         cand
+     with Stopped -> progress := false)
   done;
   !eliminated
 
 (* -- driver ------------------------------------------------------------- *)
 
-let run ~nvars ~frozen input =
+let run ~nvars ~frozen ?(stop = fun () -> false) input =
   let st =
     {
       nvars;
@@ -453,9 +464,9 @@ let run ~nvars ~frozen input =
     try
       List.iter (fun c -> add_input st c) input;
       propagate_units st;
-      probe_pass st;
-      subsumption_pass st;
-      ignore (bve_pass st);
+      probe_pass ~stop st;
+      subsumption_pass ~stop st;
+      ignore (bve_pass ~stop st);
       false
     with Unsat_found -> true
   in

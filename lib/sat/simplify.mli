@@ -46,7 +46,18 @@ type outcome = {
   stats : stats;
 }
 
-val run : nvars:int -> frozen:(int -> bool) -> int array list -> outcome
+val run :
+  nvars:int ->
+  frozen:(int -> bool) ->
+  ?stop:(unit -> bool) ->
+  int array list ->
+  outcome
 (** Simplify the clause set.  Input clauses may be unsorted, contain
     duplicate literals, tautologies or units; literals must be
-    [< 2*nvars].  The result mentions no eliminated variable. *)
+    [< 2*nvars].  The result mentions no eliminated variable.
+
+    [stop] is polled at operation boundaries (per subsumption clause,
+    per probe, per elimination candidate); once it turns true the pass
+    degrades — it finishes the current atomic operation, skips the rest,
+    and returns the (sound, equisatisfiable) outcome accumulated so far.
+    It never raises on account of [stop]. *)

@@ -296,6 +296,7 @@ let lit t e =
   if is_compl e then Sat.negate l else l
 
 let freeze t e = Sat.freeze t.sat (Sat.var_of (lit t e))
+let check_budget t = Sat.check_budget t.sat
 
 (* Polarity masks: bit 0 = positive (lit -> cone), bit 1 = negative. *)
 let mask_of = function Pos -> 1 | Neg -> 2 | Both -> 3
@@ -315,9 +316,15 @@ let push_edge t e m =
   if n > 0 && t.lhs.(n) >= 0 then
     push t n (if e land 1 = 1 then flip m else m)
 
-let encode t root pol =
-  push_edge t root (mask_of pol);
+let process_stack t =
   while t.stack_sz > 0 do
+    (* Cooperative cancellation point, checked BEFORE popping: each
+       node's polarity-byte update plus its clauses is atomic, and an
+       aborted conversion leaves the unprocessed items on the stack —
+       they are definitional obligations of literals already handed
+       out, so [drain] must run them before the next solve.  Clearing
+       the stack instead would be unsound. *)
+    Sat.check_budget t.sat;
     t.stack_sz <- t.stack_sz - 1;
     let item = t.stack.(t.stack_sz) in
     let n = item lsr 2 and want = item land 3 in
@@ -405,7 +412,15 @@ let encode t root pol =
       t.c_pg <-
         t.c_pg + if have = 0 then pending after else pending after - pending have
     end
-  done;
+  done
+
+let encode t root pol =
+  push_edge t root (mask_of pol);
+  process_stack t;
+  flush_metrics t
+
+let drain t =
+  if t.stack_sz > 0 then process_stack t;
   flush_metrics t
 
 let assert_edge t e =

@@ -76,7 +76,17 @@ val encode : t -> edge -> polarity -> unit
 (** Emit the still-missing clause halves of the edge's cone for the given
     polarity ([Pos] means "the edge's literal may be constrained true").
     Complement bits flip the polarity on the way down.  Idempotent per
-    (node, polarity). *)
+    (node, polarity).
+
+    Conversion honors the solver's budget ({!Sat.check_budget}) between
+    nodes; on {!Sqed_resil.Budget.Exhausted} the unconverted work stays
+    queued and MUST be completed via {!drain} before the next solve —
+    {!Bitblast} and {!Solver} take care of this. *)
+
+val drain : t -> unit
+(** Finish any conversion work left queued by a budget-aborted
+    {!encode}.  No-op when nothing is pending; may itself raise
+    {!Sqed_resil.Budget.Exhausted} (leaving the remainder queued). *)
 
 val lit : t -> edge -> Sat.lit
 (** The SAT literal of an edge, materializing the node's variable if
@@ -86,6 +96,9 @@ val lit : t -> edge -> Sat.lit
 val freeze : t -> edge -> unit
 (** Freeze the edge's underlying variable (for literals that escape to
     callers who may emit their own clauses over them). *)
+
+val check_budget : t -> unit
+(** {!Sat.check_budget} on the underlying solver. *)
 
 val assert_edge : t -> edge -> unit
 (** Encode the positive-polarity cone and add the edge's literal as a

@@ -1,6 +1,8 @@
 module Bv = Sqed_bv.Bv
 module Sat = Sqed_sat.Sat
 module Metrics = Sqed_obs.Metrics
+module Budget = Sqed_resil.Budget
+module Fault = Sqed_resil.Fault
 
 (* Gate counts only tick when a gate is actually emitted — the constant-
    propagation short-circuits above each counter don't cost clauses, so
@@ -39,6 +41,11 @@ module type GATES = sig
       direct backend freezes the literals against preprocessing (future
       incremental blasts emit clauses over them); the AIG backend does
       nothing — edges carry no clauses until they are encoded. *)
+
+  val check : ctx -> unit
+  (** Cooperative cancellation point ({!Sat.check_budget} on the
+      underlying solver), polled per blasted term and inside the
+      quadratic word circuits so a deadline bounds encoding time too. *)
 end
 
 module Circuits (G : GATES) = struct
@@ -84,6 +91,9 @@ module Circuits (G : GATES) = struct
     let w = Array.length x in
     let acc = ref (zero_vec c w) in
     for i = 0 to w - 1 do
+      (* O(w^2) gates: the single dominant encoding cost, so poll the
+         budget per partial product, not just per term. *)
+      G.check c;
       (* Partial product of y_i with x shifted left by i, truncated to w. *)
       let pp =
         Array.init w (fun j ->
@@ -127,6 +137,7 @@ module Circuits (G : GATES) = struct
     let k = num_stage_bits w in
     let cur = ref (Array.copy x) in
     for s = 0 to min (k - 1) (Array.length amt - 1) do
+      G.check c;
       let dist = 1 lsl s in
       let prev = !cur in
       cur :=
@@ -152,6 +163,8 @@ module Circuits (G : GATES) = struct
     let q = Array.make w (false_w c) in
     let r = ref (zero_vec c w) in
     for i = w - 1 downto 0 do
+      (* Also O(w^2): a subtractor and comparator per step. *)
+      G.check c;
       (* r = (r << 1) | x_i *)
       let r' = Array.init w (fun j -> if j = 0 then x.(i) else !r.(j - 1)) in
       let ge = G.not_w (ult_vec c r' y) in
@@ -173,6 +186,10 @@ module Circuits (G : GATES) = struct
         ws
     | None ->
         let c = b.ctx in
+        (* Only fully-blasted terms enter the cache, so aborting here
+           (before any gate of this term exists) is always consistent:
+           a later retry recomputes exactly the missing suffix. *)
+        G.check c;
         let ws =
           match t.Term.node with
           | Term.Var (name, w) -> (
@@ -305,6 +322,7 @@ module Direct_gates = struct
      literals; the Tseitin-internal gates (adder carries, partial products,
      shifter muxes) are never cached and remain fair game. *)
   let publish c ws = Array.iter (fun l -> Sat.freeze c.sat (Sat.var_of l)) ws
+  let check c = Sat.check_budget c.sat
 end
 
 (* -- AIG backend --------------------------------------------------------- *)
@@ -322,33 +340,47 @@ module Aig_gates = struct
   let or_fold = Aig.or_many
   let fresh_var = Aig.fresh_input
   let publish _ _ = ()
+  let check = Aig.check_budget
 end
 
 module DC = Circuits (Direct_gates)
 module AC = Circuits (Aig_gates)
 
-type t = Direct of DC.t | Aig of AC.t
+type backend = Direct of DC.t | Aig of AC.t
+
+(* A budget-aborted [assert_bool] leaves the constraint half-encoded:
+   completed sub-terms sit in the cache (sound — their defining clauses
+   are emitted) but the top-level unit clause is missing, and the AIG
+   backend may hold queued conversion work for literals already handed
+   out.  [pending] remembers such asserts (oldest first) so [complete]
+   can replay them before the next solve. *)
+type t = { backend : backend; mutable pending : Term.t list }
 
 let create ?(aig = true) sat =
-  if aig then Aig (AC.make (Aig.create sat))
-  else begin
-    let v = Sat.new_var sat in
-    let tlit = Sat.pos v in
-    Sat.add_clause sat [ tlit ];
-    Sat.freeze sat v;
-    Direct (DC.make { Direct_gates.sat; tlit })
-  end
+  let backend =
+    if aig then Aig (AC.make (Aig.create sat))
+    else begin
+      let v = Sat.new_var sat in
+      let tlit = Sat.pos v in
+      Sat.add_clause sat [ tlit ];
+      Sat.freeze sat v;
+      Direct (DC.make { Direct_gates.sat; tlit })
+    end
+  in
+  { backend; pending = [] }
 
-let uses_aig = function Aig _ -> true | Direct _ -> false
+let uses_aig t = match t.backend with Aig _ -> true | Direct _ -> false
 
-let true_lit = function
+let true_lit t =
+  match t.backend with
   | Direct b -> b.DC.ctx.Direct_gates.tlit
   | Aig b -> Aig.true_lit b.AC.ctx
 
 let false_lit t = Sat.negate (true_lit t)
 
 let blast t term =
-  match t with
+  Fault.check "smt.bitblast";
+  match t.backend with
   | Direct b -> DC.blast b term
   | Aig b ->
       (* These literals escape to the caller, who may constrain them in
@@ -366,20 +398,44 @@ let blast_bool t term =
   if Term.width term <> 1 then invalid_arg "Bitblast.blast_bool: width <> 1";
   (blast t term).(0)
 
-let assert_bool t term =
-  if Term.width term <> 1 then invalid_arg "Bitblast.assert_bool: width <> 1";
-  match t with
+let do_assert t term =
+  match t.backend with
   | Direct b -> Sat.add_clause b.DC.ctx.Direct_gates.sat [ (DC.blast b term).(0) ]
   | Aig b -> Aig.assert_edge b.AC.ctx (AC.blast b term).(0)
 
+let assert_bool t term =
+  if Term.width term <> 1 then invalid_arg "Bitblast.assert_bool: width <> 1";
+  Fault.check "smt.bitblast";
+  try do_assert t term
+  with Budget.Exhausted _ as e ->
+    t.pending <- t.pending @ [ term ];
+    raise e
+
+let complete t =
+  (match t.backend with
+  | Aig b -> Aig.drain b.AC.ctx
+  | Direct _ -> ());
+  let rec go () =
+    match t.pending with
+    | [] -> ()
+    | term :: rest ->
+        (* [do_assert], not [assert_bool]: if the budget dies again the
+           term must stay at the head, not be re-queued at the tail. *)
+        do_assert t term;
+        t.pending <- rest;
+        go ()
+  in
+  go ()
+
 let assume_bool t term =
   if Term.width term <> 1 then invalid_arg "Bitblast.assume_bool: width <> 1";
-  match t with
+  Fault.check "smt.bitblast";
+  match t.backend with
   | Direct b -> (DC.blast b term).(0)
   | Aig b -> Aig.assume_lit b.AC.ctx (AC.blast b term).(0)
 
 let var_lits t name ~width =
-  match t with
+  match t.backend with
   | Direct b -> Hashtbl.find_opt b.DC.vars (name, width)
   | Aig b ->
       Option.map

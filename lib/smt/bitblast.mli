@@ -32,7 +32,18 @@ val blast_bool : t -> Term.t -> Sqed_sat.Sat.lit
 
 val assert_bool : t -> Term.t -> unit
 (** Assert a width-1 term as a unit clause (positive-polarity cone only on
-    the AIG backend). *)
+    the AIG backend).
+
+    Blasting honors the solver's budget ({!Sqed_sat.Sat.check_budget}):
+    on {!Sqed_resil.Budget.Exhausted} the partially-encoded assert is
+    remembered and MUST be finished via {!complete} before the next
+    solve ({!Solver.check} does this automatically). *)
+
+val complete : t -> unit
+(** Finish any encoding work left over from budget-aborted operations:
+    drains the AIG conversion queue and replays pending asserts.  No-op
+    when nothing is outstanding; may itself raise
+    {!Sqed_resil.Budget.Exhausted} (and remain completable later). *)
 
 val assume_bool : t -> Term.t -> Sqed_sat.Sat.lit
 (** Literal for a width-1 term to be passed to [Sat.solve ~assumptions]

@@ -2,6 +2,7 @@ module Bv = Sqed_bv.Bv
 module Sat = Sqed_sat.Sat
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
+module Budget = Sqed_resil.Budget
 
 let sp_check = Trace.kind ~cat:"smt" "smt.check"
 let sp_blast = Trace.kind ~cat:"smt" "smt.bitblast"
@@ -33,9 +34,15 @@ let create ?simplify ?aig () =
   let aig_on = match aig with Some b -> b | None -> !aig_default in
   { sat; blaster = Bitblast.create ~aig:aig_on sat; has_model = false }
 
+let set_budget s b = Sat.set_budget s.sat b
+let budget s = Sat.budget s.sat
+
 let assert_ s t =
   if Term.width t <> 1 then invalid_arg "Solver.assert_: width <> 1";
   s.has_model <- false;
+  (* May raise [Budget.Exhausted] mid-encoding when a budget is
+     installed; the half-done work is remembered and finished by the
+     next [check] (which also re-raises nothing: it maps to Unknown). *)
   Trace.with_span sp_blast (fun () -> Bitblast.assert_bool s.blaster t)
 
 let check ?(assumptions = []) ?max_conflicts ?deadline s =
@@ -43,19 +50,48 @@ let check ?(assumptions = []) ?max_conflicts ?deadline s =
       s.has_model <- false;
       Metrics.incr m_checks;
       let t0 = if !Metrics.enabled then Unix.gettimeofday () else 0.0 in
-      let assumption_lits =
-        Trace.with_span sp_blast (fun () ->
-            List.map (fun t -> Bitblast.assume_bool s.blaster t) assumptions)
+      (* A per-call deadline must bound the *whole* check — encoding
+         included, which dominates on blast-heavy instances — so install
+         it as the solver budget for the duration of the call, merged
+         with (never loosening) any budget the caller installed. *)
+      let installed = Sat.budget s.sat in
+      let conflicts0 = (Sat.stats s.sat).Sat.conflicts in
+      (match deadline with
+      | Some d when d < Budget.deadline installed ->
+          Sat.set_budget s.sat (Budget.create ~deadline:d ())
+      | _ -> ());
+      let restore () =
+        if Sat.budget s.sat != installed then begin
+          (* Conflicts spent under the temporary budget still count
+             against the installed one. *)
+          Budget.charge installed
+            ((Sat.stats s.sat).Sat.conflicts - conflicts0);
+          Sat.set_budget s.sat installed
+        end
       in
       let r =
-        match
-          Sat.solve ~assumptions:assumption_lits ?max_conflicts ?deadline s.sat
-        with
-        | Sat.Sat ->
-            s.has_model <- true;
-            Sat
-        | Sat.Unsat -> Unsat
-        | Sat.Unknown -> Unknown
+        try
+          Fun.protect ~finally:restore (fun () ->
+              (* Finish encoding work a budget-aborted assert left
+                 behind — solving with missing definitional clauses
+                 would be unsound. *)
+              Bitblast.complete s.blaster;
+              let assumption_lits =
+                Trace.with_span sp_blast (fun () ->
+                    List.map
+                      (fun t -> Bitblast.assume_bool s.blaster t)
+                      assumptions)
+              in
+              match
+                Sat.solve ~assumptions:assumption_lits ?max_conflicts
+                  ?deadline s.sat
+              with
+              | Sat.Sat ->
+                  s.has_model <- true;
+                  Sat
+              | Sat.Unsat -> Unsat
+              | Sat.Unknown -> Unknown)
+        with Budget.Exhausted _ -> Unknown
       in
       if !Metrics.enabled then
         Metrics.observe_us h_check_us ((Unix.gettimeofday () -. t0) *. 1e6);

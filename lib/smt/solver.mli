@@ -32,12 +32,25 @@ val aig_default : bool ref
 val create : ?simplify:bool -> ?aig:bool -> unit -> t
 
 val assert_ : t -> Term.t -> unit
-(** Assert a width-1 term. *)
+(** Assert a width-1 term.  Under an installed {!set_budget} (or an
+    ambient per-task budget) this may raise
+    {!Sqed_resil.Budget.Exhausted} mid-encoding; the partial work is
+    remembered and finished automatically by the next {!check}. *)
 
 val check :
   ?assumptions:Term.t list -> ?max_conflicts:int -> ?deadline:float -> t -> result
-(** [deadline] is an absolute wall-clock instant enforced inside the
-    search loop. *)
+(** [deadline] is an absolute wall-clock instant bounding the whole
+    call — bit-blasting of assumptions and pending asserts as well as
+    the CDCL search (encoding dominates on blast-heavy instances).
+    Budget exhaustion anywhere in the call yields [Unknown]; the solver
+    stays reusable (incremental state intact, unfinished encoding
+    completed on the next call). *)
+
+val set_budget : t -> Sqed_resil.Budget.t -> unit
+(** Install a budget governing every subsequent [assert_]/[check]
+    ({!Sqed_resil.Budget.unlimited} to clear). *)
+
+val budget : t -> Sqed_resil.Budget.t
 
 val model_var : t -> Term.t -> Bv.t
 (** Value of a variable term in the last model.  Variables the solver never

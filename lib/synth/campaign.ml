@@ -22,3 +22,28 @@ let synthesize_all ?(engine = Hpf) ?jobs ?pool ~options ~library cases =
   match pool with
   | Some p -> Pool.map p run cases
   | None -> Pool.with_pool ?jobs (fun p -> Pool.map p run cases)
+
+type case_verdict = {
+  vcase : string;
+  verdict : Engine.result Sqed_resil.Verdict.t;
+}
+
+let synthesize_verdicts ?(engine = Hpf) ?jobs ?pool ?retries ?task_deadline
+    ~options ~library cases =
+  let run = run_case ~engine ~options ~library in
+  let go p = Pool.map_result p ?retries ?task_deadline run cases in
+  let results =
+    match pool with
+    | Some p -> go p
+    | None -> Pool.with_pool ?jobs go
+  in
+  List.map2
+    (fun case r ->
+      match r with
+      | Ok { result; _ } -> { vcase = case; verdict = Sqed_resil.Verdict.Ok result }
+      | Error (e : Pool.task_error) ->
+          let msg = Printf.sprintf "%s (attempts: %d)" e.Pool.error e.Pool.attempts in
+          if e.Pool.exhausted then
+            { vcase = case; verdict = Sqed_resil.Verdict.Unknown msg }
+          else { vcase = case; verdict = Sqed_resil.Verdict.Failed msg })
+    cases results

@@ -28,4 +28,28 @@ val synthesize_all :
 (** [synthesize_all ~options ~library cases] synthesizes every case in
     parallel.  [?pool] reuses a caller-owned pool; otherwise a fresh pool
     of [?jobs] workers (default {!Sqed_par.Pool.default_jobs}, i.e. the
-    [SEPE_JOBS] environment knob) is created for the call. *)
+    [SEPE_JOBS] environment knob) is created for the call.  A crashing
+    case aborts the whole campaign (first exception re-raised); use
+    {!synthesize_verdicts} for fault-tolerant campaigns. *)
+
+type case_verdict = {
+  vcase : string;
+  verdict : Engine.result Sqed_resil.Verdict.t;
+}
+
+val synthesize_verdicts :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?pool:Sqed_par.Pool.t ->
+  ?retries:int ->
+  ?task_deadline:float ->
+  options:Engine.options ->
+  library:Component.t list ->
+  string list ->
+  case_verdict list
+(** Fault-tolerant variant of {!synthesize_all}: runs every case via
+    {!Sqed_par.Pool.map_result} (bounded retries, optional soft per-task
+    deadline) and reports a per-case verdict instead of dying on the
+    first failure — [Failed] for a crash that survived retries,
+    [Unknown] when the task's budget was exhausted.  Results come back
+    in input order. *)

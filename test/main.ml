@@ -6,6 +6,7 @@ let () =
       ("sat", Test_sat.suite);
       ("simplify", Test_simplify.suite);
       ("par", Test_par.suite);
+      ("resil", Test_resil.suite);
       ("smt", Test_smt.suite);
       ("aig", Test_aig.suite);
       ("rtl", Test_rtl.suite);
