@@ -25,7 +25,98 @@ let read_file path =
   close_in ic;
   s
 
+(* --report mode, used by the @report-smoke alias: validate the flight
+   recorder's artifacts — the run.json sidecar, the JSONL event log and
+   (optionally) the standalone metrics snapshot — all through the same
+   checked parser.  The counter assertions pin the recorder's plumbing:
+   if log records stop reaching the ring, the sampler stops firing, or
+   the trace drop counter is unregistered, this fails in CI rather than
+   leaving silent holes in every future report. *)
+let check_report run_json log_jsonl metrics_json =
+  (match Json.parse (read_file run_json) with
+  | Error e ->
+      Printf.printf "FAIL %s does not parse: %s\n" run_json e;
+      incr failures
+  | Ok j ->
+      check "run.json schema is sepe.flight/1"
+        (Json.member "schema" j = Some (Json.String "sepe.flight/1"));
+      check "run.json records wall_s > 0"
+        (match Option.bind (Json.member "wall_s" j) Json.to_float_opt with
+        | Some w -> w > 0.0
+        | None -> false);
+      let counter name =
+        Option.bind (Json.member "metrics" j) (fun m ->
+            Option.bind (Json.member "counters" m) (fun c ->
+                Option.bind (Json.member name c) Json.to_int_opt))
+      in
+      List.iter
+        (fun name ->
+          check
+            (Printf.sprintf "counter %s > 0" name)
+            (match counter name with Some v -> v > 0 | None -> false))
+        [ "obs.log.records"; "obs.sampler.samples" ];
+      (* Present even at 0: a clean run drops nothing, but the counters
+         must stay published so drop spikes are visible when they come. *)
+      List.iter
+        (fun name ->
+          check (Printf.sprintf "counter %s present" name)
+            (counter name <> None))
+        [ "obs.trace.dropped"; "obs.log.dropped" ];
+      let nonempty_list name =
+        match Json.member name j with
+        | Some (Json.List (_ :: _)) -> true
+        | _ -> false
+      in
+      check "sampler recorded at least one domain series"
+        (match Option.bind (Json.member "samples" j) (Json.member "domains") with
+        | Some (Json.List (d :: _)) -> (
+            match Json.member "samples" d with
+            | Some (Json.List (_ :: _)) -> true
+            | _ -> false)
+        | _ -> false);
+      check "per-case verdict rows present" (nonempty_list "cases");
+      check "log tail embedded" (nonempty_list "log_tail"));
+  (* Every line of the JSONL sink must re-parse and carry the record
+     envelope. *)
+  let lines =
+    String.split_on_char '\n' (read_file log_jsonl)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check "JSONL log is non-empty" (lines <> []);
+  List.iteri
+    (fun i line ->
+      match Json.parse line with
+      | Error e ->
+          check (Printf.sprintf "log line %d parses (%s)" (i + 1) e) false
+      | Ok j ->
+          check
+            (Printf.sprintf "log line %d has ts_us/level/ev" (i + 1))
+            (Json.member "ts_us" j <> None
+            && Json.member "level" j <> None
+            && Json.member "ev" j <> None))
+    lines;
+  (match metrics_json with
+  | None -> ()
+  | Some path -> (
+      match Json.parse (read_file path) with
+      | Ok _ -> check "metrics snapshot parses" true
+      | Error e ->
+          Printf.printf "FAIL %s does not parse: %s\n" path e;
+          incr failures));
+  if !failures > 0 then begin
+    Printf.printf "report-smoke check: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "report-smoke check: all checks passed"
+
 let () =
+  if Array.length Sys.argv > 3 && Sys.argv.(1) = "--report" then begin
+    let metrics =
+      if Array.length Sys.argv > 4 then Some Sys.argv.(4) else None
+    in
+    check_report Sys.argv.(2) Sys.argv.(3) metrics;
+    exit 0
+  end;
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_sepe.json" in
   match Json.parse (read_file path) with
   | Error e ->

@@ -31,6 +31,10 @@ module Span = Sqed_obs.Trace
 
 module Journal = Sqed_resil.Journal
 module Verdict = Sqed_resil.Verdict
+module Obs_log = Sqed_obs.Log
+module Sampler = Sqed_obs.Sampler
+module Progress = Sqed_obs.Progress
+module Report = Sqed_obs.Report
 
 let fast = ref false
 let jobs = ref 0 (* 0 = Pool.default_jobs () *)
@@ -38,6 +42,8 @@ let json_path = ref "BENCH_sepe.json"
 let metrics_on = ref true (* --no-metrics opts out *)
 let trace_path = ref None
 let metrics_json_path = ref None
+let log_path = ref None (* --log FILE|-: JSONL event log *)
+let report_path = ref None (* --report FILE: HTML report + run.json *)
 let checkpoint = ref None (* --checkpoint FILE: journal + resume fig3/table1 *)
 let line = String.make 72 '-'
 
@@ -274,8 +280,10 @@ let table1 () =
     row
   in
   let outcomes =
-    Pool.with_pool ~jobs:(jobs_used ()) (fun p ->
-        Pool.map_result p run_bug to_run)
+    Progress.with_campaign ~task_budget:budget ~jobs:(jobs_used ())
+      ~total:(List.length to_run) "table1" (fun () ->
+        Pool.with_pool ~jobs:(jobs_used ()) (fun p ->
+            Pool.map_result p run_bug to_run))
   in
   let computed = List.combine to_run outcomes in
   let verdicts =
@@ -607,8 +615,10 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* Flags: --fast, --jobs N, --json PATH, --no-metrics, --no-simplify,
-     --no-aig, --trace PATH, --metrics-json PATH, --checkpoint FILE,
-     --fault-inject SPEC; everything else names an experiment. *)
+     --no-aig, --trace PATH, --metrics-json PATH, --log PATH|-, --progress,
+     --report PATH, --checkpoint FILE, --fault-inject SPEC; everything
+     else names an experiment.  "-" for --trace/--metrics-json means
+     stdout, for --log stderr. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--fast" :: rest ->
@@ -644,6 +654,15 @@ let () =
     | "--metrics-json" :: path :: rest ->
         metrics_json_path := Some path;
         parse acc rest
+    | "--log" :: path :: rest ->
+        log_path := Some path;
+        parse acc rest
+    | "--progress" :: rest ->
+        Progress.enabled := true;
+        parse acc rest
+    | "--report" :: path :: rest ->
+        report_path := Some path;
+        parse acc rest
     | "--checkpoint" :: path :: rest ->
         checkpoint := Some path;
         parse acc rest
@@ -660,6 +679,12 @@ let () =
   let args = parse [] args in
   Metrics.enabled := !metrics_on;
   if !trace_path <> None then Span.enabled := true;
+  Option.iter Obs_log.set_sink !log_path;
+  if !report_path <> None then begin
+    (* The report embeds the metrics snapshot and the sampler series. *)
+    Metrics.enabled := true;
+    Sampler.enabled := true
+  end;
   let all =
     [
       ("fig3", fig3);
@@ -690,19 +715,37 @@ let () =
   (match !trace_path with
   | Some path ->
       Span.export path;
-      Printf.printf "wrote %s (%d events, %d dropped)\n%!" path
+      Printf.printf "wrote %s (%d events, %d dropped)\n%!"
+        (if path = "-" then "<stdout>" else path)
         (List.length (Span.events ()))
         (Span.dropped ())
   | None -> ());
   (match !metrics_json_path with
   | Some path ->
-      let oc = open_out path in
-      output_string oc (Sqed_obs.Json.to_string (Metrics.to_json ()));
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote %s\n%!" path
+      let json = Sqed_obs.Json.to_string (Metrics.to_json ()) in
+      if path = "-" then print_endline json
+      else begin
+        let oc = open_out path in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n%!" path
+      end
   | None -> ());
+  (match !report_path with
+  | Some path ->
+      let cmdline = String.concat " " (Array.to_list Sys.argv) in
+      let sidecar = Report.write ~title:"bench run" ~cmdline ~path () in
+      Printf.printf "wrote %s (+ %s)\n%!" path sidecar
+  | None -> ());
+  Obs_log.close_sink ();
   if Verdict.degraded !campaign then begin
     Printf.printf "%s\n%!" (Verdict.summary_line !campaign);
+    (* Degraded exit: surface the recorder's last warnings first. *)
+    let tail = Obs_log.tail ~min_level:Obs_log.Warn 10 in
+    if tail <> [] then begin
+      Printf.eprintf "last %d warning/error events:\n" (List.length tail);
+      Obs_log.dump_tail ~min_level:Obs_log.Warn 10 stderr
+    end;
     exit (Verdict.exit_code !campaign)
   end

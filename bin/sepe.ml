@@ -11,6 +11,10 @@ module Synth = Sqed_synth
 module Pool = Sqed_par.Pool
 module Metrics = Sqed_obs.Metrics
 module Span = Sqed_obs.Trace
+module Obs_log = Sqed_obs.Log
+module Sampler = Sqed_obs.Sampler
+module Progress = Sqed_obs.Progress
+module Report = Sqed_obs.Report
 module Verdict = Sqed_resil.Verdict
 
 open Cmdliner
@@ -43,6 +47,10 @@ type obs_opts = {
   obs_metrics : bool;
   obs_metrics_json : string option;
   obs_trace : string option;
+  obs_log : string option;
+  obs_log_level : string;
+  obs_progress : bool;
+  obs_report : string option;
   obs_no_simplify : bool;
   obs_no_aig : bool;
   obs_fault : string option;
@@ -96,6 +104,48 @@ let obs_t =
              For A/B measurements; the smt.aig.* counters record what \
              the layer did when it is on.")
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Stream structured JSONL event-log records (timestamp, domain, \
+             level, event, fields) to $(docv); $(b,-) writes to stderr so \
+             CI pipelines can capture the stream without temp files.")
+  in
+  let log_level =
+    Arg.(
+      value
+      & opt (enum [ ("debug", "debug"); ("info", "info"); ("warn", "warn") ])
+          "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum level for $(b,--log) records. $(b,debug) adds \
+             per-solve lifecycle records (noisy, but invaluable for \
+             post-mortems).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Render a live single-line campaign status (cases done/total, \
+             ETA from completed-case durations, in-flight workers, stall \
+             warnings) to stderr while a campaign runs.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "After the command finishes, write a self-contained HTML run \
+             report to $(docv): sampler sparklines, phase timers, \
+             histogram summaries, per-case verdicts and the event-log \
+             tail, plus a machine-readable $(b,run.json) sidecar.  \
+             Implies metrics and enables the time-series sampler.")
+  in
   let fault =
     Arg.(
       value
@@ -112,17 +162,22 @@ let obs_t =
   in
   Term.(
     const
-      (fun obs_metrics obs_metrics_json obs_trace obs_no_simplify obs_no_aig
-           obs_fault ->
+      (fun obs_metrics obs_metrics_json obs_trace obs_log obs_log_level
+           obs_progress obs_report obs_no_simplify obs_no_aig obs_fault ->
         {
           obs_metrics;
           obs_metrics_json;
           obs_trace;
+          obs_log;
+          obs_log_level;
+          obs_progress;
+          obs_report;
           obs_no_simplify;
           obs_no_aig;
           obs_fault;
         })
-    $ metrics $ metrics_json $ trace $ no_simplify $ no_aig $ fault)
+    $ metrics $ metrics_json $ trace $ log $ log_level $ progress $ report
+    $ no_simplify $ no_aig $ fault)
 
 let with_obs obs f =
   if obs.obs_no_simplify then Sqed_smt.Solver.simplify_default := false;
@@ -136,6 +191,23 @@ let with_obs obs f =
     Metrics.enabled := true;
     Span.enabled := true
   end;
+  (match obs.obs_log with
+  | Some path ->
+      let level =
+        match obs.obs_log_level with
+        | "debug" -> Obs_log.Debug
+        | "warn" -> Obs_log.Warn
+        | _ -> Obs_log.Info
+      in
+      Obs_log.set_sink ~level path
+  | None -> ());
+  if obs.obs_progress then Progress.enabled := true;
+  if obs.obs_report <> None then begin
+    (* The report embeds the metrics snapshot and the sampler series, so
+       both recorders must run. *)
+    Metrics.enabled := true;
+    Sampler.enabled := true
+  end;
   Fun.protect
     ~finally:(fun () ->
       (match obs.obs_trace with
@@ -143,18 +215,30 @@ let with_obs obs f =
           Span.export path;
           let n = List.length (Span.events ()) in
           let d = Span.dropped () in
-          Printf.printf "trace: %d events -> %s%s\n" n path
+          Printf.printf "trace: %d events -> %s%s\n" n
+            (if path = "-" then "<stdout>" else path)
             (if d > 0 then Printf.sprintf " (%d dropped)" d else "")
       | None -> ());
       (match obs.obs_metrics_json with
       | Some path ->
-          let oc = open_out path in
-          output_string oc (Sqed_obs.Json.to_string (Metrics.to_json ()));
-          output_char oc '\n';
-          close_out oc;
-          Printf.printf "metrics: wrote %s\n" path
+          let json = Sqed_obs.Json.to_string (Metrics.to_json ()) in
+          if path = "-" then print_endline json
+          else begin
+            let oc = open_out path in
+            output_string oc json;
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "metrics: wrote %s\n" path
+          end
       | None -> ());
-      if obs.obs_metrics then print_string (Metrics.report ()))
+      (match obs.obs_report with
+      | Some path ->
+          let cmdline = String.concat " " (Array.to_list Sys.argv) in
+          let sidecar = Report.write ~title:"sepe run" ~cmdline ~path () in
+          Printf.printf "report: wrote %s (+ %s)\n" path sidecar
+      | None -> ());
+      if obs.obs_metrics then print_string (Metrics.report ());
+      Obs_log.close_sink ())
     f
 
 (* ---- shared arguments -------------------------------------------------- *)
@@ -497,14 +581,25 @@ let sweep_cmd =
     (* Supervised fan-out: a crashed or budget-exhausted check degrades
        to one marked row and a nonzero exit, not a dead sweep. *)
     let outcomes, workers =
-      Pool.with_pool ?jobs (fun pool ->
-          let rs = Pool.map_result pool check bugs in
-          (rs, Pool.stats pool))
+      Progress.with_campaign ~task_budget:budget
+        ?jobs ~total:(List.length bugs) "sweep" (fun () ->
+          Pool.with_pool ?jobs (fun pool ->
+              let rs = Pool.map_result pool check bugs in
+              (rs, Pool.stats pool)))
     in
     let detected = ref 0 in
     let verdicts =
       List.map2
         (fun bug outcome ->
+          let note status detail dur =
+            Report.note_case
+              {
+                Report.rc_key = "sweep/" ^ Bug.name bug;
+                rc_status = status;
+                rc_detail = detail;
+                rc_dur = dur;
+              }
+          in
           match outcome with
           | Ok ((_, r) as row) ->
               if V.detected r then incr detected;
@@ -514,16 +609,28 @@ let sweep_cmd =
                 r.V.stats.Sqed_bmc.Engine.sat_conflicts;
               (match r.V.outcome with
               | Sqed_bmc.Engine.Gave_up k ->
+                  note Report.Unknown
+                    (Printf.sprintf "gave up at depth %d" k)
+                    r.V.stats.Sqed_bmc.Engine.solve_time;
                   Verdict.Unknown (Printf.sprintf "gave up at depth %d" k)
-              | _ -> Verdict.Ok row)
+              | _ ->
+                  note Report.Ok (V.outcome_to_string r)
+                    r.V.stats.Sqed_bmc.Engine.solve_time;
+                  Verdict.Ok row)
           | Error (e : Pool.task_error) ->
               let msg =
                 Printf.sprintf "%s (attempts: %d)" e.Pool.error e.Pool.attempts
               in
               Printf.printf "%-18s %s\n" (Bug.name bug)
                 ((if e.Pool.exhausted then "UNKNOWN: " else "FAILED: ") ^ msg);
-              if e.Pool.exhausted then Verdict.Unknown msg
-              else Verdict.Failed msg)
+              if e.Pool.exhausted then begin
+                note Report.Unknown msg 0.0;
+                Verdict.Unknown msg
+              end
+              else begin
+                note Report.Failed msg 0.0;
+                Verdict.Failed msg
+              end)
         bugs outcomes
     in
     Printf.printf "detected %d/%d bugs (%s, bound %d)\n" !detected
@@ -906,4 +1013,15 @@ let main =
       sim_cmd; campaign_cmd; solve_cmd; prove_cmd; doctor_cmd; fig3_cmd;
     ]
 
-let () = exit (match Cmd.eval main with 0 -> !degraded_exit | n -> n)
+let () =
+  let code = match Cmd.eval main with 0 -> !degraded_exit | n -> n in
+  (* Degraded exit: close the flight recorder with the last warnings so
+     the reason is visible without re-running under --log. *)
+  if code = 3 || code = 4 then begin
+    let tail = Obs_log.tail ~min_level:Obs_log.Warn 10 in
+    if tail <> [] then begin
+      Printf.eprintf "last %d warning/error events:\n" (List.length tail);
+      Obs_log.dump_tail ~min_level:Obs_log.Warn 10 stderr
+    end
+  end;
+  exit code

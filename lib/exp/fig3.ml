@@ -18,6 +18,9 @@ module V = Sepe_sqed.Verifier
 module Synth = Sqed_synth
 module Pool = Sqed_par.Pool
 module Json = Sqed_obs.Json
+module Log = Sqed_obs.Log
+module Progress = Sqed_obs.Progress
+module Report = Sqed_obs.Report
 module Journal = Sqed_resil.Journal
 module Verdict = Sqed_resil.Verdict
 
@@ -113,6 +116,25 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) ?checkpoint ?cases
   if resumed <> [] then
     Printf.printf "checkpoint: resuming, %d of %d cells already journaled\n%!"
       (List.length resumed) (List.length tasks);
+  Log.info "fig3.start"
+    [
+      ("cases", Log.I (List.length cases));
+      ("cells", Log.I (List.length tasks));
+      ("resumed", Log.I (List.length resumed));
+      ("jobs", Log.I jobs);
+      ("budget_s", Log.F budget);
+    ];
+  List.iter
+    (fun cell ->
+      let case, engine, seed, _, _, _ = cell in
+      Report.note_case
+        {
+          Report.rc_key = cell_key (case, engine, seed);
+          rc_status = Report.Skipped;
+          rc_detail = "resumed from checkpoint";
+          rc_dur = 0.0;
+        })
+    resumed;
   let run_cell ((case, engine, seed) as task) =
     let spec = Synth.Library_.spec case in
     let options = mk_options seed in
@@ -152,7 +174,9 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) ?checkpoint ?cases
     cell
   in
   let outcomes =
-    Pool.with_pool ~jobs (fun p -> Pool.map_result p run_cell to_run)
+    Progress.with_campaign ~task_budget:budget ~jobs
+      ~total:(List.length to_run) "fig3" (fun () ->
+        Pool.with_pool ~jobs (fun p -> Pool.map_result p run_cell to_run))
   in
   let verdicts =
     List.map2
@@ -167,6 +191,35 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) ?checkpoint ?cases
             else (task, Verdict.Failed msg))
       to_run outcomes
   in
+  List.iter
+    (fun (task, v) ->
+      let key = cell_key task in
+      match v with
+      | Verdict.Ok (_, _, _, elapsed, _, _) ->
+          Report.note_case
+            {
+              Report.rc_key = key;
+              rc_status = Report.Ok;
+              rc_detail = "synthesized";
+              rc_dur = elapsed;
+            }
+      | Verdict.Unknown msg ->
+          Report.note_case
+            {
+              Report.rc_key = key;
+              rc_status = Report.Unknown;
+              rc_detail = msg;
+              rc_dur = 0.0;
+            }
+      | Verdict.Failed msg ->
+          Report.note_case
+            {
+              Report.rc_key = key;
+              rc_status = Report.Failed;
+              rc_detail = msg;
+              rc_dur = 0.0;
+            })
+    verdicts;
   let cells =
     resumed
     @ List.filter_map
@@ -241,4 +294,11 @@ let run ?(fast = false) ?(jobs = 0) ?(witness = false) ?checkpoint ?cases
   in
   if Verdict.degraded summary || summary.Verdict.skipped > 0 then
     Printf.printf "%s\n%!" (Verdict.summary_line summary);
+  Log.info "fig3.done"
+    [
+      ("ok", Log.I summary.Verdict.ok);
+      ("unknown", Log.I summary.Verdict.unknown);
+      ("failed", Log.I summary.Verdict.failed);
+      ("skipped", Log.I summary.Verdict.skipped);
+    ];
   summary

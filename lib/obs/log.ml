@@ -1,0 +1,202 @@
+(* Structured event log with an always-on bounded ring.
+
+   Same shape as [Trace]: each domain appends to its own ring buffer
+   (registered in a global list that outlives the domain) so emission
+   takes no lock; [tail] merges and sorts on demand. The sink is the
+   only shared mutable channel and is written under a mutex. *)
+
+type level = Debug | Info | Warn | Error
+
+let int_of_level = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type field = Str of string | I of int | F of float | B of bool
+
+type event = {
+  lg_ts : float;
+  lg_dom : int;
+  lg_level : level;
+  lg_ev : string;
+  lg_fields : (string * field) list;
+}
+
+let m_records = Metrics.counter "obs.log.records"
+let m_dropped = Metrics.counter "obs.log.dropped"
+
+let epoch = ref (Unix.gettimeofday ())
+
+(* Records at [capture_level] or above reach the ring.  Info+ is always
+   on (the ring exists precisely so a crash has something to dump); the
+   threshold only drops to Debug while a Debug sink is attached. *)
+let capture_level = ref (int_of_level Info)
+let logs lvl = int_of_level lvl >= !capture_level
+
+(* -- per-domain rings ---------------------------------------------------- *)
+
+let ring_capacity = 512
+
+type ring = {
+  r_dom : int;
+  mutable r_buf : event array; (* [||] until the first push *)
+  mutable r_next : int;
+  mutable r_count : int; (* total pushes, may exceed the cap *)
+}
+
+let rings_mu = Mutex.create ()
+let rings : ring list ref = ref []
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        { r_dom = (Domain.self () :> int); r_buf = [||]; r_next = 0; r_count = 0 }
+      in
+      Mutex.lock rings_mu;
+      rings := r :: !rings;
+      Mutex.unlock rings_mu;
+      r)
+
+let push r ev =
+  if Array.length r.r_buf = 0 then r.r_buf <- Array.make ring_capacity ev
+  else begin
+    if r.r_count >= ring_capacity then Metrics.add_always m_dropped 1;
+    r.r_buf.(r.r_next) <- ev
+  end;
+  r.r_next <- (r.r_next + 1) mod ring_capacity;
+  r.r_count <- r.r_count + 1
+
+let kept r =
+  if r.r_count >= Array.length r.r_buf then Array.to_list r.r_buf
+  else Array.to_list (Array.sub r.r_buf 0 r.r_count)
+
+(* -- sink ---------------------------------------------------------------- *)
+
+let sink_mu = Mutex.create ()
+let sink : out_channel option ref = ref None
+let sink_is_std = ref false
+let sink_level = ref (int_of_level Info)
+
+let field_json = function
+  | Str s -> Json.String s
+  | I n -> Json.Int n
+  | F x -> Json.Float x
+  | B b -> Json.Bool b
+
+let to_json e =
+  Json.Obj
+    [
+      ("ts_us", Json.Float e.lg_ts);
+      ("dom", Json.Int e.lg_dom);
+      ("level", Json.String (level_name e.lg_level));
+      ("ev", Json.String e.lg_ev);
+      ("fields", Json.Obj (List.map (fun (k, v) -> (k, field_json v)) e.lg_fields));
+    ]
+
+let write_sink e =
+  Mutex.lock sink_mu;
+  (match !sink with
+  | Some oc ->
+      output_string oc (Json.to_string (to_json e));
+      output_char oc '\n';
+      if int_of_level e.lg_level >= int_of_level Warn then flush oc
+  | None -> ());
+  Mutex.unlock sink_mu
+
+let set_sink ?(level = Info) path =
+  Mutex.lock sink_mu;
+  (match !sink with
+  | Some oc ->
+      if !sink_is_std then flush oc else close_out_noerr oc
+  | None -> ());
+  let oc, std = if path = "-" then (stderr, true) else (open_out path, false) in
+  sink := Some oc;
+  sink_is_std := std;
+  sink_level := int_of_level level;
+  capture_level := min !capture_level (int_of_level level);
+  Mutex.unlock sink_mu
+
+let close_sink () =
+  Mutex.lock sink_mu;
+  (match !sink with
+  | Some oc -> if !sink_is_std then flush oc else close_out_noerr oc
+  | None -> ());
+  sink := None;
+  sink_level := int_of_level Info;
+  capture_level := int_of_level Info;
+  Mutex.unlock sink_mu
+
+(* -- emission ------------------------------------------------------------ *)
+
+let emit level ev fields =
+  let li = int_of_level level in
+  if li >= !capture_level then begin
+    let e =
+      {
+        lg_ts = (Unix.gettimeofday () -. !epoch) *. 1e6;
+        lg_dom = (Domain.self () :> int);
+        lg_level = level;
+        lg_ev = ev;
+        lg_fields = fields;
+      }
+    in
+    push (Domain.DLS.get ring_key) e;
+    Metrics.add_always m_records 1;
+    if !sink <> None && li >= !sink_level then write_sink e
+  end
+
+let debug ev fields = emit Debug ev fields
+let info ev fields = emit Info ev fields
+let warn ev fields = emit Warn ev fields
+let error ev fields = emit Error ev fields
+
+(* -- ring inspection ----------------------------------------------------- *)
+
+let events ?(min_level = Debug) () =
+  Mutex.lock rings_mu;
+  let all = List.concat_map kept !rings in
+  Mutex.unlock rings_mu;
+  let all =
+    List.filter (fun e -> int_of_level e.lg_level >= int_of_level min_level) all
+  in
+  List.sort
+    (fun a b ->
+      let c = compare a.lg_ts b.lg_ts in
+      if c <> 0 then c else compare a.lg_dom b.lg_dom)
+    all
+
+let tail ?min_level n =
+  let evs = events ?min_level () in
+  let len = List.length evs in
+  if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+let dump_tail ?min_level n oc =
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (to_json e));
+      output_char oc '\n')
+    (tail ?min_level n);
+  flush oc
+
+let dropped () =
+  Mutex.lock rings_mu;
+  let d =
+    List.fold_left
+      (fun acc r -> acc + max 0 (r.r_count - Array.length r.r_buf))
+      0 !rings
+  in
+  Mutex.unlock rings_mu;
+  d
+
+let reset () =
+  Mutex.lock rings_mu;
+  List.iter
+    (fun r ->
+      r.r_buf <- [||];
+      r.r_next <- 0;
+      r.r_count <- 0)
+    !rings;
+  Mutex.unlock rings_mu;
+  epoch := Unix.gettimeofday ()

@@ -1,0 +1,39 @@
+(** Self-contained per-run HTML report plus a machine-readable
+    [run.json] sidecar.
+
+    {!write} snapshots the whole flight recorder — metrics registry,
+    sampler series, log-ring tail, trace drop count — together with the
+    per-case verdict rows the campaign pushed through {!note_case}, and
+    renders a single HTML file with no external assets: stat tiles,
+    inline-SVG sparklines per sampler series, the phase-timer table,
+    histogram summaries, the verdict table and the log tail. The
+    sidecar (same path with a [.json] extension) carries the same data
+    as checked JSON so CI re-parses it with [Json.parse].
+
+    Case rows are plain data pushed by the campaign drivers ([lib/exp],
+    [lib/synth], the CLIs) — the dependency points that way because
+    [lib/resil] links against this library, not the reverse. *)
+
+(** Per-case outcome, mirroring [lib/resil] verdicts plus the
+    checkpoint-resume case. *)
+type status = Ok | Unknown | Failed | Skipped
+
+type case_row = {
+  rc_key : string;  (** stable case key, e.g. the journal key *)
+  rc_status : status;
+  rc_detail : string;  (** human-readable verdict detail *)
+  rc_dur : float;  (** seconds; 0 when unknown (e.g. resumed) *)
+}
+
+val note_case : case_row -> unit
+(** Append a row to the run's verdict table. Thread-safe. *)
+
+val cases : unit -> case_row list
+(** Rows noted so far, in arrival order. *)
+
+val write : ?title:string -> ?cmdline:string -> path:string -> unit -> string
+(** Write the HTML report to [path] and the sidecar next to it;
+    returns the sidecar path. *)
+
+val reset : unit -> unit
+(** Drop noted cases and restart the run clock. Test helper. *)

@@ -155,11 +155,30 @@ let event_json ev =
           :: List.map (fun (k, v) -> (k, Json.String v)) ev.ev_args) );
     ]
 
+(* Ring evictions are silent while the trace records; surfacing them at
+   export time (counter + warn log) is enough, since that is when the
+   gap becomes observable.  [surfaced] makes repeated exports add only
+   the delta to the counter. *)
+let m_dropped = Metrics.counter "obs.trace.dropped"
+let surfaced = ref 0
+
+let surface_dropped () =
+  let d = dropped () in
+  if d > !surfaced then begin
+    Metrics.add_always m_dropped (d - !surfaced);
+    surfaced := d
+  end;
+  if d > 0 then
+    Log.warn "obs.trace.dropped"
+      [ ("events", Log.I d); ("ring_capacity", Log.I max_events_per_domain) ]
+
 let export path =
   let evs = events () in
-  let oc = open_out path in
+  surface_dropped ();
+  let to_stdout = path = "-" in
+  let oc = if to_stdout then stdout else open_out path in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> if to_stdout then flush oc else close_out oc)
     (fun () ->
       (* A JSON array with one event per line: valid JSON for Perfetto /
          chrome://tracing, greppable line-by-line. *)
@@ -219,4 +238,5 @@ let reset () =
       b.b_depth <- 0)
     !buffers;
   Mutex.unlock buffers_mu;
+  surfaced := 0;
   epoch := Unix.gettimeofday ()

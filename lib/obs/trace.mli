@@ -42,7 +42,10 @@ val dropped : unit -> int
     newest events are kept, the oldest evicted). *)
 
 val export : string -> unit
-(** Write the Chrome trace JSON array (one event per line) to a file. *)
+(** Write the Chrome trace JSON array (one event per line) to a file, or
+    to stdout when the path is ["-"]. Also surfaces ring evictions: the
+    total is added to the [obs.trace.dropped] counter and, when nonzero,
+    a [warn] record is emitted through {!Log}. *)
 
 val validate_export : string -> (int, string) result
 (** Re-parse an exported trace with the checked JSON parser and verify

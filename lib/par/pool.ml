@@ -1,5 +1,7 @@
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
+module Log = Sqed_obs.Log
+module Progress = Sqed_obs.Progress
 module Budget = Sqed_resil.Budget
 module Fault = Sqed_resil.Fault
 
@@ -55,12 +57,17 @@ let default_jobs () =
   | None -> Domain.recommended_domain_count ()
 
 let worker p i =
+  Log.info "pool.worker.start" [ ("worker", Log.I i) ];
   let rec loop () =
     Mutex.lock p.mutex;
     while Queue.is_empty p.queue && not p.closed do
       Condition.wait p.nonempty p.mutex
     done;
-    if Queue.is_empty p.queue then Mutex.unlock p.mutex (* closed: exit *)
+    if Queue.is_empty p.queue then begin
+      Mutex.unlock p.mutex;
+      (* closed: exit *)
+      Log.info "pool.worker.exit" [ ("worker", Log.I i) ]
+    end
     else begin
       let task = Queue.pop p.queue in
       Mutex.unlock p.mutex;
@@ -136,11 +143,22 @@ let submit_batch p wrap n =
     end
     else begin
       let t0 = Unix.gettimeofday () in
+      Progress.task_begin w;
       let fail =
         try wrap i; None
         with e -> Some (e, Printexc.get_raw_backtrace ())
       in
       let dt = Unix.gettimeofday () -. t0 in
+      Progress.task_end dt;
+      (match fail with
+      | Some (e, _) ->
+          Log.warn "pool.task.failed"
+            [
+              ("worker", Log.I w);
+              ("task", Log.I i);
+              ("error", Log.Str (Printexc.to_string e));
+            ]
+      | None -> ());
       (* Counter writes happen before the batch-done critical section: the
          mutex release/acquire pair is what makes them visible to a [stats]
          read issued after [map]/[iter] returns. *)
@@ -244,11 +262,23 @@ let run_supervised ~retries ~backoff ~task_deadline f x =
         in
         if transient && k < retries then begin
           Metrics.add_always m_retries 1;
+          Log.warn "resil.task.retry"
+            [
+              ("attempt", Log.I (k + 1));
+              ("backoff_s", Log.F sleep);
+              ("error", Log.Str (Printexc.to_string e));
+            ];
           Trace.with_span sp_retry (fun () -> Unix.sleepf sleep);
           attempt (k + 1) (sleep *. 2.)
         end
         else begin
           Metrics.add_always m_task_failures 1;
+          Log.warn "resil.task.failed"
+            [
+              ("attempts", Log.I (k + 1));
+              ("exhausted", Log.B exhausted);
+              ("error", Log.Str (Printexc.to_string e));
+            ];
           Error { error = Printexc.to_string e; attempts = k + 1; exhausted }
         end
   in

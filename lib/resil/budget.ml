@@ -46,6 +46,10 @@ let poll_mask = 255
 let die b r =
   b.dead <- Some r;
   Metrics.add_always m_exhausted 1;
+  (* Fires once per budget ([dead] is sticky and re-raises above), so an
+     Info record here is cold. *)
+  Sqed_obs.Log.info "resil.budget.exhausted"
+    [ ("reason", Sqed_obs.Log.Str (string_of_reason r)) ];
   raise (Exhausted r)
 
 let check b =

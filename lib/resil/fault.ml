@@ -113,7 +113,11 @@ let check name =
     in
     if fire then Metrics.add_always m_injected 1;
     Mutex.unlock mutex;
-    if fire then raise (Injected name)
+    if fire then begin
+      Sqed_obs.Log.warn "resil.fault.injected"
+        [ ("site", Sqed_obs.Log.Str name) ];
+      raise (Injected name)
+    end
   end
 
 let reset () =

@@ -1,5 +1,6 @@
 module Json = Sqed_obs.Json
 module Metrics = Sqed_obs.Metrics
+module Log = Sqed_obs.Log
 
 let m_records = Metrics.counter "resil.checkpoint.records"
 let m_resumed = Metrics.counter "resil.checkpoint.resumed"
@@ -21,6 +22,7 @@ let parse_line line =
   | Error _ -> None
 
 let load_existing table path =
+  let resumed = ref 0 and torn = ref 0 in
   if Sys.file_exists path then begin
     let ic = open_in_bin path in
     Fun.protect
@@ -33,16 +35,19 @@ let load_existing table path =
               match parse_line line with
               | Some (k, r) ->
                   Hashtbl.replace table k r;
+                  incr resumed;
                   Metrics.add_always m_resumed 1
               | None ->
                   (* Torn or corrupt line — a crash mid-append.  Only
                      the trailing line can legitimately be torn, but we
                      tolerate (and count) any bad line rather than
                      refuse to resume. *)
+                  incr torn;
                   Metrics.add_always m_torn 1
           done
         with End_of_file -> ())
-  end
+  end;
+  (!resumed, !torn)
 
 (* A crash can leave the file without a trailing newline (a torn last
    line); appending straight after it would fuse the next record onto
@@ -63,7 +68,13 @@ let ends_with_newline path =
 
 let open_ path =
   let table = Hashtbl.create 64 in
-  load_existing table path;
+  let resumed, torn = load_existing table path in
+  if torn > 0 then
+    Log.warn "resil.checkpoint.torn"
+      [ ("path", Log.Str path); ("lines", Log.I torn) ];
+  if resumed > 0 then
+    Log.info "resil.checkpoint.resumed"
+      [ ("path", Log.Str path); ("entries", Log.I resumed) ];
   let fresh_line = ends_with_newline path in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
@@ -109,6 +120,8 @@ let try_record t key result =
   | () -> Ok ()
   | exception e ->
       Metrics.add_always m_errors 1;
+      Log.warn "resil.checkpoint.write_failed"
+        [ ("key", Log.Str key); ("error", Log.Str (Printexc.to_string e)) ];
       Error (Printexc.to_string e)
 
 let entries t =

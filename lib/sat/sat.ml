@@ -5,6 +5,8 @@
 
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
+module Log = Sqed_obs.Log
+module Sampler = Sqed_obs.Sampler
 module Budget = Sqed_resil.Budget
 module Fault = Sqed_resil.Fault
 
@@ -228,6 +230,9 @@ let budget s = s.budget
    word loops, AIG conversion): honors both the installed budget and
    the worker pool's ambient per-task budget. *)
 let check_budget s =
+  (* Doubles as a flight-recorder touch point: a sampling opportunity
+     plus a progress heartbeat, each one boolean load when off. *)
+  Sampler.poll_quick ();
   Budget.check s.budget;
   Budget.check (Budget.current ())
 
@@ -1118,9 +1123,15 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                      | Some m when s.n_conflicts - start_conflicts >= m ->
                          raise (Found Unknown)
                      | _ -> ());
-                     if
-                       s.n_conflicts land 1023 = 0 && deadline_passed ()
-                     then raise (Found Unknown);
+                     if s.n_conflicts land 1023 = 0 then begin
+                       (* The sampler reads live totals here because the
+                          registry only sees them as deltas at solve
+                          exit. *)
+                       Sampler.poll_sat ~conflicts:s.n_conflicts
+                         ~propagations:s.n_propagations
+                         ~learnts:s.learnts.Cvec.sz;
+                       if deadline_passed () then raise (Found Unknown)
+                     end;
                      if decision_level s = 0 then begin
                        s.ok <- false;
                        raise (Found Unsat)
@@ -1187,7 +1198,7 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
     end
   end
 
-let solve ?assumptions ?max_conflicts ?deadline s =
+let solve_traced ?assumptions ?max_conflicts ?deadline s =
   if not (!Metrics.enabled || !Trace.enabled) then
     solve_body ?assumptions ?max_conflicts ?deadline s
   else
@@ -1203,6 +1214,28 @@ let solve ?assumptions ?max_conflicts ?deadline s =
             Metrics.add m_conflicts (s.n_conflicts - c0);
             Metrics.add m_restarts (s.n_restarts - r0))
           (fun () -> solve_body ?assumptions ?max_conflicts ?deadline s))
+
+let solve ?assumptions ?max_conflicts ?deadline s =
+  (* Solve-lifecycle record: solves are frequent (once per BMC bound per
+     candidate), so this is Debug-level and captured only while a Debug
+     sink is attached. *)
+  if not (Log.logs Log.Debug) then
+    solve_traced ?assumptions ?max_conflicts ?deadline s
+  else begin
+    let c0 = s.n_conflicts and t0 = Unix.gettimeofday () in
+    let r = solve_traced ?assumptions ?max_conflicts ?deadline s in
+    Log.debug "sat.solve"
+      [
+        ( "result",
+          Log.Str
+            (match r with Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown")
+        );
+        ("vars", Log.I s.nvars);
+        ("conflicts", Log.I (s.n_conflicts - c0));
+        ("us", Log.F ((Unix.gettimeofday () -. t0) *. 1e6));
+      ];
+    r
+  end
 
 let value s v =
   if not s.has_model then failwith "Sat.value: no model available";

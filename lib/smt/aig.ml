@@ -296,7 +296,11 @@ let lit t e =
   if is_compl e then Sat.negate l else l
 
 let freeze t e = Sat.freeze t.sat (Sat.var_of (lit t e))
-let check_budget t = Sat.check_budget t.sat
+let check_budget t =
+  (* Feed the live node count to the sampler before the budget poll so
+     a mid-conversion sample sees the instance as it grows. *)
+  Sqed_obs.Sampler.note_aig_nodes t.n;
+  Sat.check_budget t.sat
 
 (* Polarity masks: bit 0 = positive (lit -> cone), bit 1 = negative. *)
 let mask_of = function Pos -> 1 | Neg -> 2 | Both -> 3

@@ -412,6 +412,14 @@ let assert_bool t term =
     raise e
 
 let complete t =
+  (* Replayed pending asserts are rare (only after a budget abort) and
+     worth a flight-recorder note: they explain surprise re-encoding
+     time in the next check. *)
+  (match t.pending with
+  | [] -> ()
+  | pending ->
+      Sqed_obs.Log.info "smt.blast.replay"
+        [ ("pending", Sqed_obs.Log.I (List.length pending)) ]);
   (match t.backend with
   | Aig b -> Aig.drain b.AC.ctx
   | Direct _ -> ());

@@ -2,6 +2,7 @@ module Bv = Sqed_bv.Bv
 module Sat = Sqed_sat.Sat
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
+module Log = Sqed_obs.Log
 module Budget = Sqed_resil.Budget
 
 let sp_check = Trace.kind ~cat:"smt" "smt.check"
@@ -95,6 +96,17 @@ let check ?(assumptions = []) ?max_conflicts ?deadline s =
       in
       if !Metrics.enabled then
         Metrics.observe_us h_check_us ((Unix.gettimeofday () -. t0) *. 1e6);
+      if Log.logs Log.Debug then
+        Log.debug "smt.check"
+          [
+            ( "result",
+              Log.Str
+                (match r with
+                | Sat -> "sat"
+                | Unsat -> "unsat"
+                | Unknown -> "unknown") );
+            ("assumptions", Log.I (List.length assumptions));
+          ];
       r)
 
 let model_var s t =

@@ -33,9 +33,15 @@ let synthesize_verdicts ?(engine = Hpf) ?jobs ?pool ?retries ?task_deadline
   let run = run_case ~engine ~options ~library in
   let go p = Pool.map_result p ?retries ?task_deadline run cases in
   let results =
-    match pool with
-    | Some p -> go p
-    | None -> Pool.with_pool ?jobs go
+    (* Campaign-level progress: a single rewriting status line when
+       --progress is on; a no-op (and no nesting conflict when a caller
+       such as fig3 already opened one) otherwise. *)
+    Sqed_obs.Progress.with_campaign
+      ?task_budget:task_deadline
+      ?jobs:(match pool with Some p -> Some (Pool.jobs p) | None -> jobs)
+      ~total:(List.length cases) "synth"
+      (fun () ->
+        match pool with Some p -> go p | None -> Pool.with_pool ?jobs go)
   in
   List.map2
     (fun case r ->

@@ -7,16 +7,29 @@
 module Json = Sqed_obs.Json
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
+module Log = Sqed_obs.Log
+module Progress = Sqed_obs.Progress
+module Sampler = Sqed_obs.Sampler
+module Report = Sqed_obs.Report
 
-let isolated f () =
+let reset_all () =
   Metrics.reset ();
   Trace.reset ();
+  Log.reset ();
+  Sampler.reset ();
+  Report.reset ()
+
+let isolated f () =
+  reset_all ();
   Fun.protect
     ~finally:(fun () ->
       Metrics.enabled := false;
       Trace.enabled := false;
-      Metrics.reset ();
-      Trace.reset ())
+      Progress.enabled := false;
+      Sampler.enabled := false;
+      Sampler.set_interval_us 50_000;
+      Log.close_sink ();
+      reset_all ())
     f
 
 (* ---------------------------------------------------------------- *)
@@ -251,6 +264,184 @@ let test_export_roundtrip () =
       | Ok n -> Alcotest.(check int) "every span exported and re-parsed" 2 n
       | Error e -> Alcotest.fail ("exported trace invalid: " ^ e))
 
+(* ---------------------------------------------------------------- *)
+(* Flight recorder: log, sampler, progress, report                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_log_ring_wrap () =
+  let cap = Log.ring_capacity in
+  let extra = 50 in
+  for i = 0 to cap + extra - 1 do
+    Log.info "test.wrap" [ ("i", Log.I i) ]
+  done;
+  let evs = Log.tail (cap + extra) in
+  Alcotest.(check int) "ring keeps exactly its capacity" cap
+    (List.length evs);
+  Alcotest.(check int) "overwrites are counted" extra (Log.dropped ());
+  (* The survivors are the newest [cap] records: the first retained
+     event is the one that displaced record 0. *)
+  (match evs with
+  | first :: _ -> (
+      match List.assoc_opt "i" first.Log.lg_fields with
+      | Some (Log.I i) -> Alcotest.(check int) "oldest survivor" extra i
+      | _ -> Alcotest.fail "field i missing")
+  | [] -> Alcotest.fail "empty tail");
+  Alcotest.(check int) "tail n truncates to the newest n" 7
+    (List.length (Log.tail 7))
+
+let test_log_multidomain_merge () =
+  let per_domain = 100 in
+  let emit () =
+    for i = 1 to per_domain do
+      Log.info "test.interleave" [ ("i", Log.I i) ]
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn emit) in
+  emit ();
+  Array.iter Domain.join domains;
+  let evs = Log.tail (8 * per_domain) in
+  Alcotest.(check int) "all records captured across domains"
+    (4 * per_domain) (List.length evs);
+  let doms = List.sort_uniq compare (List.map (fun e -> e.Log.lg_dom) evs) in
+  Alcotest.(check bool) "records from several domains" true
+    (List.length doms >= 2);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Log.lg_ts <= b.Log.lg_ts && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merged tail is in timestamp order" true (sorted evs)
+
+let test_log_level_filter () =
+  Log.debug "test.quiet" [];
+  Log.info "test.loud" [];
+  Log.warn "test.louder" [];
+  Alcotest.(check int) "debug is not captured without a debug sink" 2
+    (List.length (Log.tail 10));
+  Alcotest.(check int) "min_level filters the tail" 1
+    (List.length (Log.tail ~min_level:Log.Warn 10))
+
+let test_sampler_series_monotone () =
+  Sampler.enabled := true;
+  Sampler.set_interval_us 0;
+  for i = 1 to 20 do
+    Sampler.poll_sat ~conflicts:(i * 100) ~propagations:(i * 1000)
+      ~learnts:i
+  done;
+  match Sampler.series () with
+  | [ (_, samples) ] ->
+      Alcotest.(check int) "one sample per poll at interval 0" 20
+        (List.length samples);
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            a.Sampler.sm_ts <= b.Sampler.sm_ts && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps nondecreasing" true
+        (monotone samples);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "rates are nonnegative" true
+            (s.Sampler.sm_conflicts_s >= 0.0 && s.Sampler.sm_props_s >= 0.0);
+          Alcotest.(check bool) "heap words sampled" true
+            (s.Sampler.sm_heap_words > 0))
+        samples;
+      let last = List.nth samples 19 in
+      Alcotest.(check int) "learnt DB size tracks the live value" 20
+        last.Sampler.sm_learnts
+  | series ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 domain series, got %d"
+           (List.length series))
+
+let test_sampler_disabled_is_silent () =
+  Sampler.poll_sat ~conflicts:1000 ~propagations:10000 ~learnts:5;
+  Sampler.poll_quick ();
+  Alcotest.(check int) "no series recorded while disabled" 0
+    (List.length (Sampler.series ()))
+
+let test_progress_eta () =
+  Alcotest.(check (option (float 1e-9))) "no ETA before the first case"
+    None
+    (Progress.eta ~done_:0 ~total:10 ~sum_dur:0.0 ~jobs:2);
+  Alcotest.(check (option (float 1e-9)))
+    "mean 2s x 8 remaining / 2 jobs = 8s" (Some 8.0)
+    (Progress.eta ~done_:2 ~total:10 ~sum_dur:4.0 ~jobs:2);
+  Alcotest.(check (option (float 1e-9))) "done campaign has zero ETA"
+    (Some 0.0)
+    (Progress.eta ~done_:10 ~total:10 ~sum_dur:30.0 ~jobs:4);
+  (* Degenerate jobs values must not divide by zero. *)
+  match Progress.eta ~done_:1 ~total:3 ~sum_dur:1.0 ~jobs:0 with
+  | Some eta -> Alcotest.(check bool) "jobs=0 clamps" true (Float.is_finite eta)
+  | None -> Alcotest.fail "jobs=0 should still project"
+
+let test_progress_disabled_transparent () =
+  Alcotest.(check int) "with_campaign passes the value through" 41
+    (Progress.with_campaign ~total:5 "test" (fun () -> 41));
+  Alcotest.(check string) "no status line without a campaign" ""
+    (Progress.render_line ())
+
+let test_report_roundtrip () =
+  Metrics.enabled := true;
+  Sampler.enabled := true;
+  Sampler.set_interval_us 0;
+  Log.info "test.report" [ ("phase", Log.Str "unit") ];
+  Sampler.poll_sat ~conflicts:512 ~propagations:4096 ~learnts:3;
+  Report.note_case
+    { Report.rc_key = "unit/ok"; rc_status = Report.Ok;
+      rc_detail = "synthesized"; rc_dur = 1.25 };
+  Report.note_case
+    { Report.rc_key = "unit/skip"; rc_status = Report.Skipped;
+      rc_detail = "resumed from checkpoint"; rc_dur = 0.0 };
+  let path = Filename.temp_file "sepe_report" ".html" in
+  let sidecar = ref "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if !sidecar <> "" && Sys.file_exists !sidecar then Sys.remove !sidecar)
+    (fun () ->
+      sidecar :=
+        Report.write ~title:"unit run" ~cmdline:"test" ~path ();
+      Alcotest.(check bool) "sidecar sits next to the report" true
+        (Filename.check_suffix !sidecar ".json");
+      let read_all p =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let html = read_all path in
+      Alcotest.(check bool) "report is self-contained HTML" true
+        (String.length html > 0
+        && String.starts_with ~prefix:"<!DOCTYPE html>" html);
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "sparkline SVG inlined" true
+        (contains html "<svg");
+      Alcotest.(check bool) "case rows rendered" true
+        (contains html "unit/ok");
+      match Json.parse (read_all !sidecar) with
+      | Error e -> Alcotest.fail ("run.json does not re-parse: " ^ e)
+      | Ok j ->
+          Alcotest.(check (option string))
+            "schema tag" (Some "sepe.flight/1")
+            (Option.bind (Json.member "schema" j) Json.to_string_opt);
+          let n_cases =
+            match Json.member "cases" j with
+            | Some (Json.List cs) -> List.length cs
+            | _ -> -1
+          in
+          Alcotest.(check int) "both case rows in the sidecar" 2 n_cases;
+          Alcotest.(check bool) "metrics snapshot embedded" true
+            (Json.member "metrics" j <> None);
+          Alcotest.(check bool) "sampler series embedded" true
+            (Json.member "samples" j <> None);
+          Alcotest.(check bool) "log tail embedded" true
+            (Json.member "log_tail" j <> None))
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick (isolated test_json_roundtrip);
@@ -277,4 +468,20 @@ let suite =
       (isolated test_span_feeds_timer);
     Alcotest.test_case "export validates" `Quick
       (isolated test_export_roundtrip);
+    Alcotest.test_case "log ring wraps and counts drops" `Quick
+      (isolated test_log_ring_wrap);
+    Alcotest.test_case "log tail merges domains in order" `Quick
+      (isolated test_log_multidomain_merge);
+    Alcotest.test_case "log level filtering" `Quick
+      (isolated test_log_level_filter);
+    Alcotest.test_case "sampler series is monotone" `Quick
+      (isolated test_sampler_series_monotone);
+    Alcotest.test_case "disabled sampler records nothing" `Quick
+      (isolated test_sampler_disabled_is_silent);
+    Alcotest.test_case "progress ETA projection" `Quick
+      (isolated test_progress_eta);
+    Alcotest.test_case "disabled progress is transparent" `Quick
+      (isolated test_progress_disabled_transparent);
+    Alcotest.test_case "report round-trips through run.json" `Quick
+      (isolated test_report_roundtrip);
   ]
