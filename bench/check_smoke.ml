@@ -109,7 +109,70 @@ let check_report run_json log_jsonl metrics_json =
   end;
   print_endline "report-smoke check: all checks passed"
 
+(* --portfolio mode, used by the @portfolio-smoke alias: after a
+   `fig3 --fast --portfolio 2` run (witness BMC on), assert through the
+   run.json sidecar that the portfolio actually raced — solves and
+   workers counted, clauses exported into the exchange — and through the
+   full JSONL stream (run.json only embeds a tail) that the per-worker
+   flight-recorder events were emitted.  This pins the whole dispatch
+   chain: flag -> Solver.create -> BMC depth gate -> Portfolio.solve ->
+   counters/events. *)
+let check_portfolio run_json log_jsonl =
+  (match Json.parse (read_file run_json) with
+  | Error e ->
+      Printf.printf "FAIL %s does not parse: %s\n" run_json e;
+      incr failures
+  | Ok j ->
+      let counter name =
+        Option.bind (Json.member "metrics" j) (fun m ->
+            Option.bind (Json.member "counters" m) (fun c ->
+                Option.bind (Json.member name c) Json.to_int_opt))
+      in
+      List.iter
+        (fun name ->
+          check
+            (Printf.sprintf "counter %s > 0" name)
+            (match counter name with Some v -> v > 0 | None -> false))
+        [
+          "sat.portfolio.solves"; "sat.portfolio.workers";
+          "sat.portfolio.exported"; "sat.portfolio.wins";
+        ];
+      (* Published even at 0, so sharing regressions stay visible. *)
+      List.iter
+        (fun name ->
+          check
+            (Printf.sprintf "counter %s present" name)
+            (counter name <> None))
+        [ "sat.portfolio.imported"; "sat.portfolio.banked";
+          "sat.portfolio.cancelled" ]);
+  let lines =
+    String.split_on_char '\n' (read_file log_jsonl)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let has_event name =
+    List.exists
+      (fun line ->
+        match Json.parse line with
+        | Ok j -> Json.member "ev" j = Some (Json.String name)
+        | Error _ -> false)
+      lines
+  in
+  check "portfolio.worker.start events logged" (has_event "portfolio.worker.start");
+  check "a worker verdict event logged"
+    (has_event "portfolio.worker.won"
+    || has_event "portfolio.worker.cancelled"
+    || has_event "portfolio.worker.exhausted");
+  if !failures > 0 then begin
+    Printf.printf "portfolio-smoke check: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "portfolio-smoke check: all checks passed"
+
 let () =
+  if Array.length Sys.argv > 3 && Sys.argv.(1) = "--portfolio" then begin
+    check_portfolio Sys.argv.(2) Sys.argv.(3);
+    exit 0
+  end;
   if Array.length Sys.argv > 3 && Sys.argv.(1) = "--report" then begin
     let metrics =
       if Array.length Sys.argv > 4 then Some Sys.argv.(4) else None

@@ -92,6 +92,9 @@ let write_json () =
         ("fast", Json.Bool !fast);
         ("simplify", Json.Bool !Sqed_smt.Solver.simplify_default);
         ("aig", Json.Bool !Sqed_smt.Solver.aig_default);
+        ("portfolio", Json.Int !Sqed_smt.Solver.portfolio_default);
+        ( "portfolio_deterministic",
+          Json.Bool !Sqed_smt.Solver.portfolio_deterministic_default );
         ("experiments", Json.List experiments);
         ("metrics", Metrics.to_json ());
       ]
@@ -234,7 +237,12 @@ let table1 () =
           | Sqed_bmc.Engine.No_counterexample ->
               Printf.sprintf "-  (clean to d=%d)" sqed_bound
           | Sqed_bmc.Engine.Gave_up k ->
-              Printf.sprintf "-  (budget at d=%d)" k
+              let why =
+                match sqed.V.stats.Sqed_bmc.Engine.gave_up with
+                | Some r -> Sqed_resil.Budget.string_of_reason r
+                | None -> "budget"
+              in
+              Printf.sprintf "-  (%s at d=%d)" why k
           | Sqed_bmc.Engine.Counterexample _ -> assert false
       in
       Printf.sprintf "%-6s | %-42s | %-16s | %s"
@@ -516,6 +524,52 @@ let scaling () =
     cases
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio A/B: diversified CDCL workers on the hardest BMC query    *)
+(* ------------------------------------------------------------------ *)
+
+(* The hardest single BMC query in the suite is the table-1 MULH witness
+   with the original-instruction stream left unconstrained (the table
+   itself soundly focuses the stream on the mutated class, which is what
+   keeps its cell cheap): one deep SAT query at the class-minimum depth,
+   where single-engine solve time explodes with the unconstrained search
+   space.  Both arms run the same cell on the same binary — width 1,
+   then width K — and land in BENCH_sepe.json as portfolio/k1 and
+   portfolio/kK next to the sat.portfolio.* counters. *)
+let portfolio () =
+  let k =
+    let d = !Sqed_smt.Solver.portfolio_default in
+    if d > 1 then d else 4
+  in
+  section
+    (Printf.sprintf
+       "portfolio - %d diversified CDCL workers racing on the hardest BMC \
+        query\n\
+        (table-1 MULH witness, unfocused instruction stream; width 1 vs %d \
+        on the same binary)"
+       k k);
+  let cfg = Config.tiny_m in
+  let bug = Bug.Bug_mulh in
+  let min_depth = sepe_min_depth cfg bug in
+  let budget = if !fast then 600.0 else 1800.0 in
+  Printf.printf "core: %s; witness query at depth %d; budget %.0fs/arm\n\n"
+    (Config.to_string cfg) min_depth budget;
+  let arm label width =
+    let saved = !Sqed_smt.Solver.portfolio_default in
+    Sqed_smt.Solver.portfolio_default := width;
+    Fun.protect
+      ~finally:(fun () -> Sqed_smt.Solver.portfolio_default := saved)
+      (fun () ->
+        timed label (fun () ->
+            let r =
+              V.run ~bug ~method_:V.Sepe_sqed ~bound:min_depth
+                ~start_bound:min_depth ~time_budget:budget cfg
+            in
+            Printf.printf "%-16s %s\n%!" label (V.outcome_to_string r)))
+  in
+  arm "portfolio/k1" 1;
+  arm (Printf.sprintf "portfolio/k%d" k) k
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -615,10 +669,11 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* Flags: --fast, --jobs N, --json PATH, --no-metrics, --no-simplify,
-     --no-aig, --trace PATH, --metrics-json PATH, --log PATH|-, --progress,
-     --report PATH, --checkpoint FILE, --fault-inject SPEC; everything
-     else names an experiment.  "-" for --trace/--metrics-json means
-     stdout, for --log stderr. *)
+     --no-aig, --portfolio K, --portfolio-deterministic, --trace PATH,
+     --metrics-json PATH, --log PATH|-, --progress, --report PATH,
+     --checkpoint FILE, --fault-inject SPEC; everything else names an
+     experiment.  "-" for --trace/--metrics-json means stdout, for --log
+     stderr. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--fast" :: rest ->
@@ -633,6 +688,20 @@ let () =
         (* A/B switch for the bit-blaster's AIG gate layer; the smt.aig.*
            counters in the JSON record the on-side. *)
         Sqed_smt.Solver.aig_default := false;
+        parse acc rest
+    | "--portfolio" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            (* Portfolio width for every solver the run creates; only
+               deep BMC bounds actually engage it (the sat.portfolio.*
+               counters in the JSON record how often). *)
+            Sqed_smt.Solver.portfolio_default := k;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--portfolio expects a positive integer, got %S\n" n;
+            exit 1)
+    | "--portfolio-deterministic" :: rest ->
+        Sqed_smt.Solver.portfolio_deterministic_default := true;
         parse acc rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
@@ -694,6 +763,7 @@ let () =
       ("ablation", ablation);
       ("scaling", scaling);
       ("crosscore", crosscore);
+      ("portfolio", portfolio);
       ("micro", micro);
     ]
   in

@@ -53,6 +53,8 @@ type obs_opts = {
   obs_report : string option;
   obs_no_simplify : bool;
   obs_no_aig : bool;
+  obs_portfolio : int;
+  obs_portfolio_det : bool;
   obs_fault : string option;
 }
 
@@ -103,6 +105,31 @@ let obs_t =
              Tseitin emission, for every solver this command creates.  \
              For A/B measurements; the smt.aig.* counters record what \
              the layer did when it is on.")
+  in
+  let portfolio =
+    Arg.(
+      value & opt int 1
+      & info [ "portfolio" ] ~docv:"K"
+          ~doc:
+            "Race $(docv) diversified CDCL workers (different seeds, \
+             polarities, restart schedules, VSIDS decay) on hard SAT \
+             queries, sharing low-LBD learnt clauses; the first \
+             definitive verdict wins and cancels the rest.  Only BMC \
+             depths at or past the engine's threshold pay the \
+             clone/spawn cost — shallow queries and CEGIS candidates \
+             stay single-engine.  The sat.portfolio.* counters and the \
+             portfolio.worker.* event-log records show what each worker \
+             did.")
+  in
+  let portfolio_det =
+    Arg.(
+      value & flag
+      & info [ "portfolio-deterministic" ]
+          ~doc:
+            "Run the portfolio as a reproducible single-domain \
+             round-robin instead of a parallel race: repeat runs give \
+             bit-identical verdicts and solver statistics, at the cost \
+             of the wall-clock speedup.  For CI and debugging.")
   in
   let log =
     Arg.(
@@ -163,7 +190,8 @@ let obs_t =
   Term.(
     const
       (fun obs_metrics obs_metrics_json obs_trace obs_log obs_log_level
-           obs_progress obs_report obs_no_simplify obs_no_aig obs_fault ->
+           obs_progress obs_report obs_no_simplify obs_no_aig obs_portfolio
+           obs_portfolio_det obs_fault ->
         {
           obs_metrics;
           obs_metrics_json;
@@ -174,14 +202,20 @@ let obs_t =
           obs_report;
           obs_no_simplify;
           obs_no_aig;
+          obs_portfolio;
+          obs_portfolio_det;
           obs_fault;
         })
     $ metrics $ metrics_json $ trace $ log $ log_level $ progress $ report
-    $ no_simplify $ no_aig $ fault)
+    $ no_simplify $ no_aig $ portfolio $ portfolio_det $ fault)
 
 let with_obs obs f =
   if obs.obs_no_simplify then Sqed_smt.Solver.simplify_default := false;
   if obs.obs_no_aig then Sqed_smt.Solver.aig_default := false;
+  if obs.obs_portfolio > 1 then
+    Sqed_smt.Solver.portfolio_default := obs.obs_portfolio;
+  if obs.obs_portfolio_det then
+    Sqed_smt.Solver.portfolio_deterministic_default := true;
   Option.iter Sqed_resil.Fault.configure obs.obs_fault;
   if obs.obs_metrics || obs.obs_metrics_json <> None then
     Metrics.enabled := true;
@@ -609,10 +643,15 @@ let sweep_cmd =
                 r.V.stats.Sqed_bmc.Engine.sat_conflicts;
               (match r.V.outcome with
               | Sqed_bmc.Engine.Gave_up k ->
-                  note Report.Unknown
-                    (Printf.sprintf "gave up at depth %d" k)
-                    r.V.stats.Sqed_bmc.Engine.solve_time;
-                  Verdict.Unknown (Printf.sprintf "gave up at depth %d" k)
+                  let why =
+                    match r.V.stats.Sqed_bmc.Engine.gave_up with
+                    | Some reason ->
+                        ", " ^ Sqed_resil.Budget.string_of_reason reason
+                    | None -> ""
+                  in
+                  let msg = Printf.sprintf "gave up at depth %d%s" k why in
+                  note Report.Unknown msg r.V.stats.Sqed_bmc.Engine.solve_time;
+                  Verdict.Unknown msg
               | _ ->
                   note Report.Ok (V.outcome_to_string r)
                     r.V.stats.Sqed_bmc.Engine.solve_time;
@@ -835,7 +874,12 @@ let prove_cmd =
            auxiliary invariants).\n"
           k
     | Sqed_bmc.Engine.Proof_gave_up k ->
-        Printf.printf "gave up at k=%d (budget).\n" k);
+        let why =
+          match stats.Sqed_bmc.Engine.gave_up with
+          | Some reason -> Sqed_resil.Budget.string_of_reason reason
+          | None -> "budget"
+        in
+        Printf.printf "gave up at k=%d (%s).\n" k why);
     Printf.printf "%.1fs, %d solver queries\n"
       stats.Sqed_bmc.Engine.solve_time stats.Sqed_bmc.Engine.bounds_checked
   in
@@ -866,7 +910,10 @@ let solve_cmd =
           Printf.eprintf "parse error: %s\n" e;
           exit 1
       | Ok cnf -> (
-          match Sqed_sat.Dimacs.solve cnf with
+          match
+            Sqed_sat.Dimacs.solve ~portfolio:obs.obs_portfolio
+              ~deterministic:obs.obs_portfolio_det cnf
+          with
           | Sqed_sat.Sat.Sat, Some model ->
               print_endline "sat";
               Array.iteri

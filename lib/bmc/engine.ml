@@ -29,7 +29,14 @@ type stats = {
   clauses : int;
   sat_conflicts : int;
   sat : Sqed_sat.Sat.stats;
+  gave_up : Sqed_resil.Budget.reason option;
 }
+
+(* Shallow bounds solve in milliseconds; cloning the clause database and
+   spawning domains there would cost more than the search.  The
+   portfolio engages once the unrolling is deep enough that single-core
+   solve time dominates. *)
+let default_portfolio_from = 4
 
 let bool_of bv = not (Bv.is_zero bv)
 
@@ -93,7 +100,8 @@ let extract_trace model u solver depth =
   }
 
 let check ?max_conflicts ?time_budget ?(start_bound = 1)
-    ?(progress = fun _ _ -> ()) ~bound model =
+    ?(portfolio_from = default_portfolio_from) ?(progress = fun _ _ -> ())
+    ~bound model =
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) time_budget in
   let solver = Solver.create () in
@@ -110,6 +118,7 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
     (Qed_top.init_assumptions model);
   let result = ref No_counterexample in
   let bounds = ref 0 in
+  let gave_up_reason = ref None in
   (try
      for k = 1 to bound do
        try
@@ -128,6 +137,8 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
        else begin
        incr bounds;
        Metrics.incr m_bounds;
+       (* Deep bounds opt into portfolio solving (a no-op at width 1). *)
+       Solver.set_portfolio_active solver (k >= portfolio_from);
        let t0 = if !Metrics.enabled then Unix.gettimeofday () else 0.0 in
        let r =
          Solver.check ~assumptions:[ bad ] ?max_conflicts ?deadline solver
@@ -144,18 +155,21 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
            Solver.assert_ solver (Term.not_ bad)
        | Solver.Unknown ->
            result := Gave_up k;
+           gave_up_reason := Solver.last_unknown solver;
            raise Exit)
        end;
        progress k (Unix.gettimeofday () -. started);
        (match time_budget with
        | Some budget when Unix.gettimeofday () -. started > budget ->
            result := Gave_up k;
+           gave_up_reason := Some Budget.Deadline;
            raise Exit
        | _ -> ())
-       with Budget.Exhausted _ ->
+       with Budget.Exhausted r ->
          (* Budget died during unrolling/encoding (Solver.check maps its
             own exhaustion to Unknown): an inconclusive depth. *)
          result := Gave_up k;
+         gave_up_reason := Some r;
          raise Exit
      done
    with Exit -> ());
@@ -167,6 +181,7 @@ let check ?max_conflicts ?time_budget ?(start_bound = 1)
       clauses = Solver.num_clauses solver;
       sat_conflicts = st.Sqed_sat.Sat.conflicts;
       sat = st;
+      gave_up = !gave_up_reason;
     } )
 
 let replay model trace =
@@ -217,9 +232,12 @@ let prove ?max_conflicts ?time_budget ~max_k model =
   let step = Unroll.create ~free_initial_state:true model.Qed_top.circuit in
   let bounds = ref 0 in
   let result = ref (Not_inductive max_k) in
+  let gave_up_reason = ref None in
   (try
      for k = 1 to max_k do
        try
+       Solver.set_portfolio_active base_solver (k >= default_portfolio_from);
+       Solver.set_portfolio_active step_solver (k >= default_portfolio_from);
        (* base: no counterexample of depth k *)
        Unroll.extend_to base k;
        let t = k - 1 in
@@ -239,6 +257,7 @@ let prove ?max_conflicts ?time_budget ~max_k model =
        | Solver.Unsat -> Solver.assert_ base_solver (Term.not_ bad_base)
        | Solver.Unknown ->
            result := Proof_gave_up k;
+           gave_up_reason := Solver.last_unknown base_solver;
            raise Exit);
        (* step: from any clean k-prefix, step k cannot fail *)
        Unroll.extend_to step (k + 1);
@@ -262,13 +281,16 @@ let prove ?max_conflicts ?time_budget ~max_k model =
        | Solver.Sat -> () (* spurious: deepen k *)
        | Solver.Unknown ->
            result := Proof_gave_up k;
+           gave_up_reason := Solver.last_unknown step_solver;
            raise Exit);
        if over_budget () then begin
          result := Proof_gave_up k;
+         gave_up_reason := Some Budget.Deadline;
          raise Exit
        end
-       with Budget.Exhausted _ ->
+       with Budget.Exhausted r ->
          result := Proof_gave_up k;
+         gave_up_reason := Some r;
          raise Exit
      done
    with Exit -> ());
@@ -280,6 +302,7 @@ let prove ?max_conflicts ?time_budget ~max_k model =
       clauses = Solver.num_clauses base_solver + Solver.num_clauses step_solver;
       sat_conflicts = st.Sqed_sat.Sat.conflicts;
       sat = st;
+      gave_up = !gave_up_reason;
     } )
 
 (* Replay a raw input stream and report at which cycle (if any) [bad]

@@ -9,7 +9,9 @@
 type outcome =
   | Counterexample of Trace.t
   | No_counterexample  (** the property holds up to the bound *)
-  | Gave_up of int  (** solver budget exhausted at this depth *)
+  | Gave_up of int
+      (** solver budget exhausted at this depth; [stats.gave_up] says
+          whether the wall-clock deadline or the conflict cap ran out *)
 
 type stats = {
   bounds_checked : int;
@@ -18,12 +20,21 @@ type stats = {
   sat_conflicts : int;
   sat : Sqed_sat.Sat.stats;
       (** full solver counters (decisions, propagations, restarts, ...) *)
+  gave_up : Sqed_resil.Budget.reason option;
+      (** why the run gave up ([Deadline], [Conflicts], [Cancelled]),
+          when the outcome is [Gave_up]/[Proof_gave_up]; [None] on a
+          definitive verdict *)
 }
+
+val default_portfolio_from : int
+(** Default depth threshold past which a BMC query opts into portfolio
+    solving (when the solver was created with width above 1). *)
 
 val check :
   ?max_conflicts:int ->
   ?time_budget:float ->
   ?start_bound:int ->
+  ?portfolio_from:int ->
   ?progress:(int -> float -> unit) ->
   bound:int ->
   Sqed_qed.Qed_top.t ->
@@ -32,7 +43,11 @@ val check :
     seconds.  [start_bound] skips the (expensive, necessarily clean)
     property checks below the given depth when the shortest possible
     counterexample length is known; constraints are still asserted for
-    every step. *)
+    every step.  [portfolio_from] (default
+    {!default_portfolio_from}) gates portfolio solving on for depths at
+    or past it — shallow queries are cheap enough that clone/spawn
+    overhead would dominate — and has no effect unless the run sets a
+    portfolio width above 1 ({!Sqed_smt.Solver.portfolio_default}). *)
 
 val replay : Sqed_qed.Qed_top.t -> Trace.t -> bool
 (** Witness validation: re-run the counterexample's exact inputs and

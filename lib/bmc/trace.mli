@@ -27,9 +27,13 @@ type t = {
 }
 
 val to_string : t -> string
+(** A human-readable per-cycle rendering of the trace (instruction
+    stream, stall/ready flags, consistency verdicts). *)
 
 val waveform : t -> string
 (** The counterexample's input stimulus rendered as an ASCII waveform
     (one row per circuit input). *)
 
 val pp : Format.formatter -> t -> unit
+(** [Format] pretty-printer wrapping {!to_string} (for Alcotest
+    testables and error messages). *)

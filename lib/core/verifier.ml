@@ -88,4 +88,11 @@ let outcome_to_string r =
       Printf.sprintf "no counterexample up to bound %d (%.2fs)" r.bound
         r.stats.Engine.solve_time
   | Engine.Gave_up k ->
-      Printf.sprintf "gave up at depth %d (%.2fs)" k r.stats.Engine.solve_time
+      let why =
+        match r.stats.Engine.gave_up with
+        | Some reason ->
+            Printf.sprintf ", %s" (Sqed_resil.Budget.string_of_reason reason)
+        | None -> ""
+      in
+      Printf.sprintf "gave up at depth %d (%.2fs%s)" k
+        r.stats.Engine.solve_time why

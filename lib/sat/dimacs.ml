@@ -61,7 +61,7 @@ let print cnf =
     cnf.clauses;
   Buffer.contents buf
 
-let solve cnf =
+let solve ?(portfolio = 1) ?(deterministic = false) cnf =
   let s = Sat.create () in
   (* One-shot solving: preprocessing always pays for itself here, and the
      model-extension machinery keeps the returned assignment complete. *)
@@ -77,9 +77,14 @@ let solve cnf =
            clause))
     cnf.clauses;
   Sat.simplify_now s;
-  match Sat.solve s with
-  | Sat.Sat ->
-      (Sat.Sat, Some (Array.map (fun v -> Sat.value s v) vars))
+  let result =
+    (* A standalone instance is exactly the portfolio's sweet spot: one
+       hard query, no incremental follow-up to amortize against. *)
+    if portfolio > 1 then Portfolio.solve ~deterministic ~k:portfolio s
+    else Sat.solve s
+  in
+  match result with
+  | Sat.Sat -> (Sat.Sat, Some (Array.map (fun v -> Sat.value s v) vars))
   | r -> (r, None)
 
 let of_solver_instance gen num_vars = { num_vars; clauses = gen num_vars }

@@ -9,10 +9,14 @@ val parse : string -> (cnf, string) result
 (** Parse DIMACS text ([c] comments and a [p cnf V C] header). *)
 
 val print : cnf -> string
+(** Render a CNF back to DIMACS text (header plus one clause per line). *)
 
-val solve : cnf -> Sat.result * bool array option
+val solve :
+  ?portfolio:int -> ?deterministic:bool -> cnf -> Sat.result * bool array option
 (** Run the CDCL solver on a parsed instance; on SAT, the array maps
-    variable i (1-based, index i-1) to its value. *)
+    variable i (1-based, index i-1) to its value.  [portfolio] above 1
+    races that many diversified workers via {!Portfolio.solve}
+    ([deterministic] for the reproducible round-robin mode). *)
 
 val of_solver_instance : (int -> int list list) -> int -> cnf
 (** Build a CNF from a clause generator (used by tests). *)

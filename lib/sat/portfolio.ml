@@ -1,0 +1,377 @@
+(* Portfolio CDCL: K diversified workers race on clones of one instance,
+   sharing low-LBD learnt clauses through a bounded ring and stopping
+   each other through Budget cancellation.  See portfolio.mli and
+   docs/SOLVER.md for the soundness argument and the determinism
+   story. *)
+
+module Budget = Sqed_resil.Budget
+module Metrics = Sqed_obs.Metrics
+module Log = Sqed_obs.Log
+
+let m_solves = Metrics.counter "sat.portfolio.solves"
+let m_workers = Metrics.counter "sat.portfolio.workers"
+let m_exported = Metrics.counter "sat.portfolio.exported"
+let m_imported = Metrics.counter "sat.portfolio.imported"
+let m_banked = Metrics.counter "sat.portfolio.banked"
+let m_cancelled = Metrics.counter "sat.portfolio.cancelled"
+let m_wins = Metrics.counter "sat.portfolio.wins"
+
+(* Clauses worth the exchange traffic: glue-ish (low LBD) or short. *)
+let export_max_lbd = 4
+let export_max_len = 4
+
+(* Deterministic mode runs each worker for this many conflicts per
+   round-robin slice. *)
+let det_quantum = 2048
+
+(* On a single-core host the parallel path degrades to OS timesharing
+   between K domains: every worker runs K times slower and the race
+   loses to the round-robin scheduler, which harvests the same strategy
+   diversity without the context-switch and clone-contention tax.
+   [solve] therefore falls back to round-robin when the runtime
+   recommends a single domain; tests set [force_spawn] to exercise the
+   Domain.spawn path regardless. *)
+let force_spawn = ref false
+
+(* Bounded shared exchange buffer: a fixed ring of clause entries under
+   one mutex.  Workers touch it only at restart boundaries (a flush of
+   their local pending list plus a drain of peers' news), so the lock is
+   uncontended in practice — the hot CDCL loop never sees it.  Overflow
+   silently overwrites the oldest entries: the exchange is best-effort,
+   losing a clause costs only rediscovery. *)
+module Ring = struct
+  type entry = { lits : Sat.lit array; lbd : int; owner : int }
+
+  let capacity = 4096
+  let dummy = { lits = [||]; lbd = 0; owner = -1 }
+
+  type t = {
+    lock : Mutex.t;
+    slots : entry array;
+    mutable total : int; (* monotone count of entries ever appended *)
+  }
+
+  let create () =
+    { lock = Mutex.create (); slots = Array.make capacity dummy; total = 0 }
+
+  let append_locked t owner pending =
+    List.iter
+      (fun (lits, lbd) ->
+        t.slots.(t.total mod capacity) <- { lits; lbd; owner };
+        t.total <- t.total + 1)
+      pending
+
+  (* Flush [pending] (oldest first) and return every peer entry appended
+     since [cursor], oldest first, in one critical section. *)
+  let swap t ~owner ~cursor pending =
+    Mutex.lock t.lock;
+    append_locked t owner pending;
+    let hi = t.total in
+    let lo = max !cursor (hi - capacity) in
+    let out = ref [] in
+    for i = hi - 1 downto lo do
+      let e = t.slots.(i mod capacity) in
+      if e.owner >= 0 && e.owner <> owner then out := (e.lits, e.lbd) :: !out
+    done;
+    cursor := hi;
+    Mutex.unlock t.lock;
+    !out
+
+  let flush t ~owner pending =
+    Mutex.lock t.lock;
+    append_locked t owner pending;
+    Mutex.unlock t.lock
+
+  (* Everything currently buffered, oldest first (for the master
+     bank-back after the race). *)
+  let contents t =
+    Mutex.lock t.lock;
+    let hi = t.total in
+    let lo = max 0 (hi - capacity) in
+    let out = ref [] in
+    for i = hi - 1 downto lo do
+      let e = t.slots.(i mod capacity) in
+      if e.owner >= 0 then out := (e.lits, e.lbd) :: !out
+    done;
+    Mutex.unlock t.lock;
+    !out
+end
+
+(* Deterministic diversification table.  Worker 0 keeps the stock
+   strategy (so a one-worker portfolio searches like the single-engine
+   solver); higher indices vary the VSIDS decay, the restart schedule,
+   the initial phase and — from worker 4 on — sprinkle random decision
+   polarities. *)
+let strategy_for i =
+  if i = 0 then Sat.default_strategy
+  else begin
+    let decays = [| 0.95; 0.92; 0.97; 0.90; 0.94; 0.96; 0.91; 0.93 |] in
+    {
+      Sat.var_decay = decays.(i mod Array.length decays);
+      restart_luby = i land 1 = 0;
+      restart_base = (if i land 1 = 0 then 100.0 else 32.0);
+      restart_growth = 1.3 +. (0.1 *. Float.of_int (i mod 3));
+      seed = 0x9E37 + (7919 * i);
+      random_pol_freq = (if i >= 4 then 64 else 0);
+      invert_pol = i land 1 = 1;
+    }
+  end
+
+let sum a = Array.fold_left ( + ) 0 a
+
+let reason_str = function
+  | Some r -> Budget.string_of_reason r
+  | None -> "none"
+
+let solve ?(assumptions = []) ?max_conflicts ?deadline ?(deterministic = false)
+    ~k s =
+  if k <= 1 then Sat.solve ~assumptions ?max_conflicts ?deadline s
+  else if not (Sat.prepare ~assumptions s) then Sat.Unsat
+  else begin
+    let installed = Sat.budget s in
+    let task = Budget.current () in
+    (* Merge the per-call limits with the installed and ambient budgets
+       once, exactly as a single-engine [Sat.solve] would. *)
+    let eff_deadline =
+      Float.min
+        (match deadline with Some d -> d | None -> infinity)
+        (Float.min (Budget.deadline installed) (Budget.deadline task))
+    in
+    let eff_conflicts =
+      let cap =
+        min
+          (Budget.conflicts_remaining installed)
+          (Budget.conflicts_remaining task)
+      in
+      match max_conflicts with
+      | Some m -> Some (min m cap)
+      | None -> if cap = max_int then None else Some cap
+    in
+    let already_over =
+      match Budget.over installed with
+      | Some _ as r -> r
+      | None -> Budget.over task
+    in
+    match already_over with
+    | Some r ->
+        (* Spent before any worker could start: report it without paying
+           for clones or domains. *)
+        Sat.note_interrupt s r;
+        Sat.Unknown
+    | None ->
+        Metrics.incr m_solves;
+        Metrics.add m_workers k;
+        let clones = Array.init k (fun _ -> Sat.clone s) in
+        let ring = Ring.create () in
+        (* Per-worker exchange state: [pending.(i)] and [cursor.(i)] are
+           only ever touched from worker [i]'s domain; the controller
+           reads them after the joins (which synchronize). *)
+        let pending = Array.make k [] in
+        let cursor = Array.init k (fun _ -> ref 0) in
+        let exported = Array.make k 0 in
+        let imported = Array.make k 0 in
+        let results = Array.make k Sat.Unknown in
+        let winner = Atomic.make (-1) in
+        (* Each worker gets its own cancellable budget carrying the
+           merged deadline (conflict caps ride on the per-call argument
+           instead: every worker gets the full remaining allowance, the
+           usual portfolio accounting where "effort" is per engine). *)
+        let budgets =
+          Array.init k (fun _ -> Budget.create ~deadline:eff_deadline ())
+        in
+        let exchange_for i =
+          {
+            Sat.max_lbd = export_max_lbd;
+            max_len = export_max_len;
+            export =
+              (fun lits lbd ->
+                pending.(i) <- (lits, lbd) :: pending.(i);
+                exported.(i) <- exported.(i) + 1);
+            import =
+              (fun () ->
+                let mine = List.rev pending.(i) in
+                pending.(i) <- [];
+                let got = Ring.swap ring ~owner:i ~cursor:cursor.(i) mine in
+                imported.(i) <- imported.(i) + List.length got;
+                got);
+          }
+        in
+        let round_robin =
+          deterministic
+          || ((not !force_spawn) && Domain.recommended_domain_count () <= 1)
+        in
+        let setup i =
+          let w = clones.(i) in
+          Sat.set_strategy w (strategy_for i);
+          Sat.set_exchange w (Some (exchange_for i));
+          Sat.set_budget w budgets.(i);
+          Log.info "portfolio.worker.start"
+            [
+              ("worker", Log.I i);
+              ("deterministic", Log.B deterministic);
+              ( "scheduler",
+                Log.Str (if round_robin then "round-robin" else "parallel") );
+              ("seed", Log.I (strategy_for i).Sat.seed);
+              ("luby", Log.B (strategy_for i).Sat.restart_luby);
+            ];
+          w
+        in
+        if round_robin then begin
+          (* Round-robin mode — [deterministic], or a single-core host:
+             the workers run on this domain in fixed round-robin slices
+             of [det_quantum] conflicts, the exchange schedule is a
+             deterministic function of the search, and the verdict is
+             the first definitive answer in worker order. *)
+          let workers = Array.init k setup in
+          let total = ref 0 in
+          let stop = ref None in
+          let deadline_opt =
+            if eff_deadline = infinity then None else Some eff_deadline
+          in
+          while Atomic.get winner < 0 && !stop = None do
+            let i = ref 0 in
+            while !i < k && Atomic.get winner < 0 && !stop = None do
+              let w = workers.(!i) in
+              let slice =
+                match eff_conflicts with
+                | Some cap -> min det_quantum (cap - !total)
+                | None -> det_quantum
+              in
+              if slice <= 0 then stop := Some Budget.Conflicts
+              else begin
+                let c0 = (Sat.stats w).Sat.conflicts in
+                let r =
+                  Sat.solve ~assumptions ~max_conflicts:slice
+                    ?deadline:deadline_opt w
+                in
+                total := !total + ((Sat.stats w).Sat.conflicts - c0);
+                (match r with
+                | Sat.Unknown -> (
+                    match Sat.last_interrupt w with
+                    | Some Budget.Conflicts | None ->
+                        () (* slice spent; next worker *)
+                    | Some r -> stop := Some r)
+                | _ ->
+                    results.(!i) <- r;
+                    ignore (Atomic.compare_and_set winner (-1) !i))
+              end;
+              incr i
+            done
+          done;
+          Array.iteri (fun i p -> Ring.flush ring ~owner:i (List.rev p)) pending
+        end
+        else begin
+          (* Parallel mode: one domain per worker; the first definitive
+             finisher takes the winner slot and cancels the peers'
+             budgets, which their solve loops observe at the restart /
+             1024-conflict / reduce-db poll sites. *)
+          let finished = Atomic.make 0 in
+          let run i =
+            let w = setup i in
+            let r =
+              try Sat.solve ~assumptions ?max_conflicts:eff_conflicts w
+              with e ->
+                Log.warn "portfolio.worker.error"
+                  [
+                    ("worker", Log.I i);
+                    ("exn", Log.Str (Printexc.to_string e));
+                  ];
+                Sat.Unknown
+            in
+            results.(i) <- r;
+            (* Flush straggler exports so the bank-back below sees them. *)
+            Ring.flush ring ~owner:i (List.rev pending.(i));
+            pending.(i) <- [];
+            if r <> Sat.Unknown && Atomic.compare_and_set winner (-1) i then
+              Array.iteri
+                (fun j b -> if j <> i then Budget.cancel b)
+                budgets
+          in
+          let domains =
+            Array.init k (fun i ->
+                Domain.spawn (fun () ->
+                    Fun.protect
+                      ~finally:(fun () -> Atomic.incr finished)
+                      (fun () -> run i)))
+          in
+          (* The controller watches for exhaustion/cancellation of the
+             caller's budgets while the race runs (the deadline was
+             merged at entry, but a conflict-cap or an explicit cancel
+             can only be seen by polling) and relays it to the workers. *)
+          while Atomic.get finished < k do
+            (match
+               match Budget.over installed with
+               | Some _ as r -> r
+               | None -> Budget.over task
+             with
+            | Some _ -> Array.iter Budget.cancel budgets
+            | None -> ());
+            Unix.sleepf 0.001
+          done;
+          Array.iter Domain.join domains
+        end;
+        (* Verdict, adoption and bank-back. *)
+        let w = Atomic.get winner in
+        let adopted =
+          if w >= 0 then w
+          else begin
+            (* All workers gave up: surface a real reason (deadline or
+               conflict cap) over a relayed cancellation when one
+               exists. *)
+            let rep = ref 0 in
+            Array.iteri
+              (fun i c ->
+                match Sat.last_interrupt c with
+                | Some Budget.Deadline | Some Budget.Conflicts ->
+                    if
+                      (match Sat.last_interrupt clones.(!rep) with
+                      | Some Budget.Deadline | Some Budget.Conflicts -> false
+                      | _ -> true)
+                    then rep := i
+                | _ -> ())
+              clones;
+            !rep
+          end
+        in
+        let banked = Ring.contents ring in
+        Sat.import_clauses s banked;
+        Sat.adopt s ~winner:clones.(adopted);
+        let used = (Sat.stats clones.(adopted)).Sat.conflicts in
+        Budget.charge installed used;
+        Budget.charge task used;
+        Metrics.add m_exported (sum exported);
+        Metrics.add m_imported (sum imported);
+        Metrics.add m_banked (List.length banked);
+        if w >= 0 then begin
+          Metrics.incr m_wins;
+          Metrics.add m_cancelled (k - 1)
+        end;
+        Array.iteri
+          (fun i r ->
+            let st = Sat.stats clones.(i) in
+            let fields =
+              [
+                ("worker", Log.I i);
+                ("conflicts", Log.I st.Sat.conflicts);
+                ("exported", Log.I exported.(i));
+                ("imported", Log.I imported.(i));
+              ]
+            in
+            if i = w then
+              Log.info "portfolio.worker.won"
+                (( "result",
+                   Log.Str (match r with Sat.Sat -> "sat" | _ -> "unsat") )
+                :: fields)
+            else if w >= 0 then Log.info "portfolio.worker.cancelled" fields
+            else
+              Log.info "portfolio.worker.exhausted"
+                (("reason", Log.Str (reason_str (Sat.last_interrupt clones.(i))))
+                :: fields))
+          results;
+        if w >= 0 then results.(w)
+        else begin
+          (* [adopt] already copied the representative's interrupt
+             reason onto the master. *)
+          Sat.Unknown
+        end
+  end

@@ -121,6 +121,45 @@ type stats = {
   learnt_literals : int;
 }
 
+(* Search-strategy knobs, uniform across a solver's lifetime.  The
+   defaults reproduce the historical constants exactly (Luby restarts
+   with base 100, VSIDS decay 0.95, saved-phase polarity), so a solver
+   that never calls [set_strategy] behaves bit-for-bit as before — the
+   portfolio layer is the only caller that diversifies these. *)
+type strategy = {
+  var_decay : float;
+  restart_luby : bool;
+  restart_base : float;
+  restart_growth : float;
+  seed : int;
+  random_pol_freq : int;
+  invert_pol : bool;
+}
+
+let default_strategy =
+  {
+    var_decay = 0.95;
+    restart_luby = true;
+    restart_base = 100.0;
+    restart_growth = 1.5;
+    seed = 0;
+    random_pol_freq = 0;
+    invert_pol = false;
+  }
+
+(* Learnt-clause exchange hooks (portfolio).  [export] fires inside
+   [record_learnt] for clauses worth sharing (LBD or length under the
+   caps) with a fresh literal-array copy; [import] fires at restart
+   boundaries, at decision level 0, and returns peer clauses (with their
+   LBD) to splice into the learnt database.  Both callbacks run on the
+   solver's own domain. *)
+type exchange = {
+  max_lbd : int;
+  max_len : int;
+  export : lit array -> int -> unit;
+  import : unit -> (lit array * int) list;
+}
+
 type t = {
   mutable nvars : int;
   clauses : Cvec.t; (* problem clauses *)
@@ -165,9 +204,18 @@ type t = {
   (* Installed resource budget (deadline + conflict cap), merged with the
      ambient per-task budget at every cooperative cancellation point. *)
   mutable budget : Budget.t;
+  (* Portfolio hooks: the diversification strategy (with [var_inc_scale]
+     caching 1/var_decay so the per-conflict path pays no division), the
+     xorshift state for randomized polarity (0 keeps saved-phase only),
+     the clause-exchange callbacks, and the reason the last [solve]
+     returned [Unknown] (None after Sat/Unsat). *)
+  mutable strat : strategy;
+  mutable var_inc_scale : float;
+  mutable rand_state : int;
+  mutable exchange : exchange option;
+  mutable last_interrupt : Budget.reason option;
 }
 
-let var_decay = 1.0 /. 0.95
 let clause_decay = 1.0 /. 0.999
 
 let create () =
@@ -209,6 +257,11 @@ let create () =
     clauses_at_simplify = 0;
     n_solves = 0;
     budget = Budget.unlimited;
+    strat = default_strategy;
+    var_inc_scale = 1.0 /. default_strategy.var_decay;
+    rand_state = 0;
+    exchange = None;
+    last_interrupt = None;
   }
 
 let num_vars s = s.nvars
@@ -235,6 +288,35 @@ let check_budget s =
   Sampler.poll_quick ();
   Budget.check s.budget;
   Budget.check (Budget.current ())
+
+let last_interrupt s = s.last_interrupt
+let note_interrupt s r = s.last_interrupt <- Some r
+
+let set_strategy s st =
+  if st.var_decay <= 0.0 || st.var_decay > 1.0 then
+    invalid_arg "Sat.set_strategy: var_decay must be in (0, 1]";
+  s.strat <- st;
+  s.var_inc_scale <- 1.0 /. st.var_decay;
+  s.rand_state <- (if st.seed = 0 then 0 else (st.seed * 0x2545F49) lor 1);
+  if st.invert_pol then
+    for v = 0 to s.nvars - 1 do
+      s.polarity.(v) <- not s.polarity.(v)
+    done
+
+let set_exchange s ex = s.exchange <- ex
+
+(* xorshift PRNG for randomized decision polarity; only consulted when
+   the strategy asks for it, so the default decision path stays
+   branch-predictable. *)
+let next_rand s =
+  let x = s.rand_state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 1 else x in
+  s.rand_state <- x;
+  x
 
 (* -- variable order heap (max-heap on activity) ---------------------- *)
 
@@ -968,7 +1050,14 @@ let record_learnt s lits lbd =
   | [ l ] ->
       cancel_until s 0;
       if lit_val s l = 0 then s.ok <- false
-      else if lit_val s l = -1 then enqueue s l no_reason
+      else if lit_val s l = -1 then enqueue s l no_reason;
+      (* Learnt units are implied by the problem clauses alone
+         (assumptions enter the search as reasonless decisions and are
+         never resolved into learnt clauses), so they are always worth
+         exporting to portfolio peers. *)
+      (match s.exchange with
+      | Some ex -> ex.export [| l |] 1
+      | None -> ())
   | asserting :: _ ->
       let arr = Array.of_list lits in
       (* Put a highest-level literal (other than the asserting one) in
@@ -987,8 +1076,80 @@ let record_learnt s lits lbd =
       s.n_learnt_lits <- s.n_learnt_lits + Array.length arr;
       Metrics.incr m_learnt_clauses;
       Metrics.observe h_learnt_len (Array.length arr);
+      (* Export a fresh copy: [propagate] reorders [c.lits] in place, so
+         the shared buffer must never alias live clause memory. *)
+      (match s.exchange with
+      | Some ex when lbd <= ex.max_lbd || Array.length arr <= ex.max_len ->
+          ex.export (Array.copy arr) lbd
+      | _ -> ());
       if Array.length arr = 2 then enqueue s asserting (reason_of_lit arr.(1))
       else enqueue s asserting (reason_of_clause c)
+
+(* Splice one peer-learnt clause into the database at decision level 0.
+   Imported clauses are implied by the shared problem formula (see
+   [record_learnt] on why learnt clauses never depend on assumptions), so
+   adding them preserves equisatisfiability — including clauses that
+   mention variables this solver has since eliminated, though in practice
+   peers share the clone-time elimination state and the defensive skip
+   below never fires.  Sorts/dedups like [add_clause_internal] but lands
+   the clause in [learnts] with its LBD so [reduce_db] can manage it. *)
+let import_learnt s lits lbd =
+  if s.ok && s.trail_lim_sz = 0 then begin
+    let keep = ref true in
+    Array.iter (fun l -> if s.elim.(var_of l) then keep := false) lits;
+    if !keep then begin
+      let lits = Array.copy lits in
+      let n = Array.length lits in
+      for i = 1 to n - 1 do
+        let x = lits.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && lits.(!j) > x do
+          lits.(!j + 1) <- lits.(!j);
+          decr j
+        done;
+        lits.(!j + 1) <- x
+      done;
+      let taut = ref false in
+      let k = ref 0 in
+      let last = ref (-2) in
+      for i = 0 to n - 1 do
+        let l = lits.(i) in
+        if l = negate !last then taut := true;
+        if l <> !last then begin
+          last := l;
+          match lit_val s l with
+          | 1 -> taut := true (* satisfied at top level *)
+          | 0 -> () (* false at top level: drop *)
+          | _ ->
+              lits.(!k) <- l;
+              incr k
+        end
+      done;
+      if not !taut then
+        match !k with
+        | 0 -> s.ok <- false
+        | 1 -> enqueue s lits.(0) no_reason
+        | m ->
+            let c =
+              {
+                lits = (if m = n then lits else Array.sub lits 0 m);
+                act = 0.0;
+                lbd = min lbd m;
+                learnt = true;
+                deleted = false;
+              }
+            in
+            Cvec.push s.learnts c;
+            watch s c
+    end
+  end
+
+let import_clauses s cls =
+  List.iter (fun (lits, lbd) -> import_learnt s lits lbd) cls;
+  (* New units (or an empty clause) must propagate before the caller
+     relies on the solver state again. *)
+  if s.ok && s.trail_lim_sz = 0 then
+    match propagate s with Some _ -> s.ok <- false | None -> ()
 
 (* -- learnt clause DB reduction ---------------------------------------- *)
 
@@ -1051,6 +1212,7 @@ exception Found of result
 
 let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
   s.has_model <- false;
+  s.last_interrupt <- None;
   Fault.check "sat.solve";
   (* Merge the per-call limits with the installed budget and the worker
      pool's ambient per-task budget into one effective deadline and
@@ -1079,6 +1241,23 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
     | Some d -> Unix.gettimeofday () > d
     | None -> false
   in
+  (* Cooperative stop poll, shared by the restart / 1024-conflict /
+     reduce-db boundaries.  Beyond the effective deadline it also asks
+     the installed and ambient budgets directly, which is what makes
+     [Budget.cancel] from a portfolio arbiter (or a pool supervisor on
+     another domain) actually stop this search: the deadline/conflict
+     caps were merged once at entry, but a cancellation arrives later. *)
+  let interrupted () =
+    if deadline_passed () then Some Budget.Deadline
+    else
+      match Budget.over s.budget with
+      | Some _ as r -> r
+      | None -> Budget.over task_budget
+  in
+  let stop r =
+    s.last_interrupt <- Some r;
+    raise (Found Unknown)
+  in
   if not s.ok then Unsat
   else begin
     let assumptions = Array.of_list assumptions in
@@ -1104,14 +1283,26 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
           let round = ref 0 in
           while true do
             s.n_restarts <- s.n_restarts + 1;
-            restart_limit := luby !round *. 100.0;
+            restart_limit :=
+              (if s.strat.restart_luby then luby !round *. s.strat.restart_base
+               else s.strat.restart_base *. (s.strat.restart_growth ** Float.of_int !round));
             incr round;
             conflicts_here := 0;
             cancel_until s 0;
             (* Restart boundary: cheap, and restarts fire every ~100+
                conflicts, so propagation-heavy instances that rarely hit
-               the modular conflict check still see the deadline here. *)
-            if deadline_passed () then raise (Found Unknown);
+               the modular conflict check still see the deadline here.
+               Also the clause-import point: the trail is at level 0, so
+               peer clauses can splice in (and propagate) safely. *)
+            (match s.exchange with
+            | Some ex ->
+                List.iter (fun (lits, lbd) -> import_learnt s lits lbd) (ex.import ());
+                (match propagate s with
+                | Some _ -> s.ok <- false
+                | None -> ());
+                if not s.ok then raise (Found Unsat)
+            | None -> ());
+            (match interrupted () with Some r -> stop r | None -> ());
             (* search *)
             (try
                while true do
@@ -1121,7 +1312,7 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                      incr conflicts_here;
                      (match eff_max_conflicts with
                      | Some m when s.n_conflicts - start_conflicts >= m ->
-                         raise (Found Unknown)
+                         stop Budget.Conflicts
                      | _ -> ());
                      if s.n_conflicts land 1023 = 0 then begin
                        (* The sampler reads live totals here because the
@@ -1130,7 +1321,9 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                        Sampler.poll_sat ~conflicts:s.n_conflicts
                          ~propagations:s.n_propagations
                          ~learnts:s.learnts.Cvec.sz;
-                       if deadline_passed () then raise (Found Unknown)
+                       match interrupted () with
+                       | Some r -> stop r
+                       | None -> ()
                      end;
                      if decision_level s = 0 then begin
                        s.ok <- false;
@@ -1140,7 +1333,7 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                      cancel_until s bt;
                      record_learnt s learnt lbd;
                      if not s.ok then raise (Found Unsat);
-                     s.var_inc <- s.var_inc *. var_decay;
+                     s.var_inc <- s.var_inc *. s.var_inc_scale;
                      s.cla_inc <- s.cla_inc *. clause_decay;
                      if Float.of_int !conflicts_here >= !restart_limit then
                        raise Exit
@@ -1151,7 +1344,9 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                        (* Learnt-DB reductions are rare and follow long
                           propagation-heavy stretches — another natural
                           deadline boundary. *)
-                       if deadline_passed () then raise (Found Unknown);
+                       (match interrupted () with
+                       | Some r -> stop r
+                       | None -> ());
                        reduce_db s;
                        s.max_learnts <- s.max_learnts *. 1.05
                      end;
@@ -1179,7 +1374,14 @@ let solve_body ?(assumptions = []) ?max_conflicts ?deadline s =
                        end;
                        s.n_decisions <- s.n_decisions + 1;
                        new_decision_level s;
-                       let l = if s.polarity.(v) then pos v else neg_of_var v in
+                       let l =
+                         if
+                           s.strat.random_pol_freq > 0
+                           && next_rand s mod s.strat.random_pol_freq = 0
+                         then if next_rand s land 1 = 0 then pos v else neg_of_var v
+                         else if s.polarity.(v) then pos v
+                         else neg_of_var v
+                       in
                        enqueue s l no_reason
                      end
                done
@@ -1236,6 +1438,111 @@ let solve ?assumptions ?max_conflicts ?deadline s =
       ];
     r
   end
+
+(* -- portfolio plumbing ------------------------------------------------- *)
+
+(* Run the pre-search phase of [solve] on the master solver so portfolio
+   workers clone the *post-preprocessing* clause database: assumption
+   variables frozen (and restored if eliminated), level-0 propagation at
+   fixpoint, and the same auto-simplify decision an ordinary [solve]
+   would have made — including the [n_solves] bump that keeps the
+   "first solve never simplifies" heuristic intact for portfolio
+   queries.  Returns [false] when the instance is already UNSAT. *)
+let prepare ?(assumptions = []) s =
+  s.has_model <- false;
+  s.last_interrupt <- None;
+  if not s.ok then false
+  else begin
+    List.iter (fun a -> freeze s (var_of a)) assumptions;
+    (match propagate s with
+    | Some _ -> s.ok <- false
+    | None -> ());
+    if s.ok then maybe_simplify s;
+    s.n_solves <- s.n_solves + 1;
+    s.ok
+  end
+
+let clone s =
+  if s.trail_lim_sz <> 0 then invalid_arg "Sat.clone: only at decision level 0";
+  let c = create () in
+  c.nvars <- s.nvars;
+  c.assign <- Array.copy s.assign;
+  c.level <- Array.copy s.level;
+  (* Level-0 implications need no justification (analyze never follows
+     level-0 reasons), so the clone drops them rather than aliasing the
+     master's clause objects across domains. *)
+  c.reason <- Array.make (Array.length s.reason) no_reason;
+  c.activity <- Array.copy s.activity;
+  c.polarity <- Array.copy s.polarity;
+  c.seen <- Array.make (Array.length s.seen) false;
+  c.frozen <- Array.copy s.frozen;
+  c.elim <- Array.copy s.elim;
+  (* Immutable spine and literal arrays that are only ever read (model
+     extension, restore): structural sharing across domains is safe. *)
+  c.elim_stack <- s.elim_stack;
+  c.trail <- Array.copy s.trail;
+  c.trail_sz <- s.trail_sz;
+  c.qhead <- s.qhead;
+  c.var_inc <- s.var_inc;
+  c.cla_inc <- s.cla_inc;
+  c.ok <- s.ok;
+  c.max_learnts <- s.max_learnts;
+  (* Workers never re-simplify: a mid-search pass would rebuild the
+     clause database under the exchange buffer's feet, and the master
+     already ran the profitable pass in [prepare]. *)
+  c.simplify_on <- false;
+  c.clauses_at_simplify <- s.clauses_at_simplify;
+  c.n_solves <- s.n_solves;
+  let wlen = Array.length s.watches in
+  c.watches <- Array.init wlen (fun _ -> Cvec.create ());
+  c.bin_watches <- Array.init wlen (fun _ -> Ivec.create ());
+  c.heap_pos <- Array.make (Array.length s.heap_pos) (-1);
+  c.heap <- Array.make (max 16 s.nvars) 0;
+  c.heap_sz <- 0;
+  for v = 0 to s.nvars - 1 do
+    heap_insert c v
+  done;
+  (* Deep-copy both clause databases: [propagate] reorders [lits] in
+     place, so literal arrays must never be shared between domains.
+     Copying preserves literal order, and watching positions 0/1
+     replicates the master's exact (valid) watch state. *)
+  let copy_into dst (src : Cvec.t) =
+    for i = 0 to src.Cvec.sz - 1 do
+      let cl = src.Cvec.data.(i) in
+      if not cl.deleted then begin
+        let cc =
+          {
+            lits = Array.copy cl.lits;
+            act = cl.act;
+            lbd = cl.lbd;
+            learnt = cl.learnt;
+            deleted = false;
+          }
+        in
+        Cvec.push dst cc;
+        watch c cc
+      end
+    done
+  in
+  copy_into c.clauses s.clauses;
+  copy_into c.learnts s.learnts;
+  c
+
+let adopt s ~winner =
+  if winner.has_model then begin
+    s.model <- Array.copy winner.model;
+    s.has_model <- true
+  end;
+  s.last_interrupt <- winner.last_interrupt;
+  (* Fold the winner's search counters into the master's [stats] so BMC
+     and CLI summaries account the work (the flight-recorder registry
+     already saw every worker's deltas when their own [solve] calls
+     flushed, so this touches only the local fields). *)
+  s.n_decisions <- s.n_decisions + winner.n_decisions;
+  s.n_propagations <- s.n_propagations + winner.n_propagations;
+  s.n_conflicts <- s.n_conflicts + winner.n_conflicts;
+  s.n_restarts <- s.n_restarts + winner.n_restarts;
+  s.n_learnt_lits <- s.n_learnt_lits + winner.n_learnt_lits
 
 let value s v =
   if not s.has_model then failwith "Sat.value: no model available";

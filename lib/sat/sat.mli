@@ -6,20 +6,32 @@
     phase saving, first-UIP conflict analysis with iterative clause
     minimization, Luby restarts, learnt-clause database reduction, and
     solving under assumptions.  Built for the bit-blasted QF_BV queries
-    issued by {!Sqed_smt} (CEGIS and BMC workloads). *)
+    issued by {!Sqed_smt} (CEGIS and BMC workloads).
+
+    For the cross-layer invariants this solver's incremental API rests on
+    (frozen variables, restore-on-add, budget poll sites, clause-database
+    cloning for the portfolio), see [docs/SOLVER.md]. *)
 
 type t
+(** A solver instance: clause database, assignment trail and heuristic
+    state.  Single-owner mutable — never share one instance across
+    domains (the portfolio layer {!clone}s instead). *)
 
 type lit = int
 (** Literals are [2 * var] (positive) or [2 * var + 1] (negated). *)
 
 val create : unit -> t
+(** A fresh, empty solver (no variables, no clauses, default
+    {!default_strategy}, no budget). *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
 
 val num_vars : t -> int
+(** Number of variables allocated so far. *)
+
 val num_clauses : t -> int
+(** Number of live problem clauses (learnt clauses not included). *)
 
 val pos : int -> lit
 (** Positive literal of a variable. *)
@@ -28,14 +40,21 @@ val neg_of_var : int -> lit
 (** Negative literal of a variable. *)
 
 val negate : lit -> lit
+(** The opposite-polarity literal of the same variable. *)
+
 val var_of : lit -> int
+(** The variable a literal mentions. *)
+
 val is_pos : lit -> bool
+(** Whether a literal is the positive occurrence of its variable. *)
 
 val add_clause : t -> lit list -> unit
 (** Add a clause.  Adding the empty clause (or a clause that simplifies to
     it) makes the instance permanently unsatisfiable. *)
 
 val add_clause_a : t -> lit array -> unit
+(** Array variant of {!add_clause} (the encoder hot path; the array is
+    copied, not captured). *)
 
 (** {2 Preprocessing}
 
@@ -72,6 +91,8 @@ val is_eliminated : t -> int -> bool
     tests and debugging. *)
 
 type result = Sat | Unsat | Unknown
+(** Verdict of a {!solve} call; [Unknown] means a budget/limit interrupt
+    (see {!last_interrupt} for which one). *)
 
 val solve :
   ?assumptions:lit list -> ?max_conflicts:int -> ?deadline:float -> t -> result
@@ -84,7 +105,20 @@ val solve :
     reduction boundaries) bounds wall time; when either is exceeded the
     answer is [Unknown].  Per-call limits are merged with the installed
     {!set_budget} budget and the ambient per-task
-    {!Sqed_resil.Budget.current} budget. *)
+    {!Sqed_resil.Budget.current} budget; the same poll sites also
+    observe {!Sqed_resil.Budget.cancel} on either budget, which is how a
+    portfolio arbiter stops a losing worker. *)
+
+val last_interrupt : t -> Sqed_resil.Budget.reason option
+(** Why the most recent {!solve} returned [Unknown] — [Deadline] for a
+    wall-clock limit, [Conflicts] for a conflict cap, [Cancelled] for an
+    explicit {!Sqed_resil.Budget.cancel}.  [None] after [Sat]/[Unsat]
+    (and before any solve). *)
+
+val note_interrupt : t -> Sqed_resil.Budget.reason -> unit
+(** Record an interrupt reason on behalf of the solver ({!Portfolio}
+    plumbing, for [Unknown]s decided outside the CDCL loop — e.g. a
+    budget found spent before any worker was spawned). *)
 
 (** {1 Resource budgets}
 
@@ -98,6 +132,7 @@ val set_budget : t -> Sqed_resil.Budget.t -> unit
 (** Install a budget ({!Sqed_resil.Budget.unlimited} to clear). *)
 
 val budget : t -> Sqed_resil.Budget.t
+(** The installed budget ({!Sqed_resil.Budget.unlimited} when none). *)
 
 val check_budget : t -> unit
 (** Cooperative cancellation point for work feeding this solver: raises
@@ -109,6 +144,7 @@ val value : t -> int -> bool
     read [false].  Raises [Failure] if the last call did not return [Sat]. *)
 
 val lit_value : t -> lit -> bool
+(** Model value of a literal (see {!value}). *)
 
 type stats = {
   decisions : int;
@@ -117,8 +153,99 @@ type stats = {
   restarts : int;
   learnt_literals : int;
 }
+(** Cumulative search counters over the solver's lifetime. *)
 
 val stats : t -> stats
+(** Read the counters (cheap; plain field loads). *)
+
+(** {1 Portfolio hooks}
+
+    The building blocks {!Portfolio} assembles into K diversified
+    workers racing on one instance.  They are exposed here rather than
+    kept private because the portfolio lives in a separate module of
+    this library; ordinary clients never need them. *)
+
+type strategy = {
+  var_decay : float;
+      (** VSIDS activity decay factor in (0, 1]; default 0.95.  Smaller
+          values make the heuristic more reactive to recent conflicts. *)
+  restart_luby : bool;
+      (** Luby restarts (default) vs. geometric when [false]. *)
+  restart_base : float;
+      (** Conflicts before the first restart (Luby unit / geometric
+          start); default 100. *)
+  restart_growth : float;
+      (** Geometric growth factor, used only when [restart_luby] is
+          [false]; default 1.5. *)
+  seed : int;
+      (** PRNG seed for randomized polarity; 0 (default) keeps the
+          solver fully deterministic. *)
+  random_pol_freq : int;
+      (** Pick a random phase on roughly 1 in [random_pol_freq]
+          decisions; 0 (default) always uses the saved phase. *)
+  invert_pol : bool;
+      (** Flip every saved phase once when the strategy is installed, so
+          the worker starts its search in the complementary half of the
+          assignment space. *)
+}
+(** Search-diversification knobs.  {!default_strategy} reproduces the
+    solver's historical constants exactly, so installing it is a no-op
+    behavior-wise. *)
+
+val default_strategy : strategy
+(** The stock strategy every fresh solver starts with. *)
+
+val set_strategy : t -> strategy -> unit
+(** Install a strategy.  [invert_pol] takes effect immediately (the
+    saved-phase array is flipped once); the other knobs steer subsequent
+    {!solve} calls.  Raises [Invalid_argument] if [var_decay] is outside
+    (0, 1]. *)
+
+type exchange = {
+  max_lbd : int;  (** export learnt clauses with LBD at most this... *)
+  max_len : int;  (** ...or at most this many literals. *)
+  export : lit array -> int -> unit;
+      (** Called inside conflict analysis for each export-worthy learnt
+          clause with a fresh literal-array copy and its LBD.  Learnt
+          units are always exported (with LBD 1).  Runs on the solver's
+          domain; must not block. *)
+  import : unit -> (lit array * int) list;
+      (** Called at restart boundaries (decision level 0); returned
+          clauses are spliced into the learnt database and propagated.
+          Runs on the solver's domain. *)
+}
+(** Learnt-clause exchange callbacks.  Learnt clauses are implied by the
+    problem clauses alone — assumptions enter the search as reasonless
+    decisions and are never resolved into learnt clauses — so they are
+    sound to share between solvers working on clones of one instance. *)
+
+val set_exchange : t -> exchange option -> unit
+(** Install (or with [None] remove) the exchange callbacks. *)
+
+val prepare : ?assumptions:lit list -> t -> bool
+(** Run the pre-search phase of {!solve} — freeze assumption variables,
+    propagate to the level-0 fixpoint, auto-simplify if due — so that
+    {!clone} snapshots the post-preprocessing clause database.  Returns
+    [false] when the instance is already UNSAT (no portfolio needed). *)
+
+val clone : t -> t
+(** Deep-copy the solver for an independent worker: problem and learnt
+    clauses (fresh literal arrays — propagation mutates them in place),
+    level-0 trail, saved phases, activities and elimination state.  The
+    clone has auto-simplify off, no budget, no exchange, zero counters
+    and {!default_strategy}.  Only valid at decision level 0. *)
+
+val adopt : t -> winner:t -> unit
+(** After a portfolio race, fold the winning clone back into the master:
+    copy its model (if any) and {!last_interrupt}, and add its search
+    counters to the master's {!stats}. *)
+
+val import_clauses : t -> (lit array * int) list -> unit
+(** Splice peer-learnt clauses (with their LBDs) into the learnt
+    database at decision level 0 and propagate any resulting units; used
+    to bank a portfolio's shared clauses in the master so later
+    incremental queries start ahead.  Clauses mentioning eliminated
+    variables are skipped defensively. *)
 
 val to_dimacs : t -> string
 (** The problem clauses (not learnt ones) in DIMACS format, for

@@ -252,6 +252,9 @@ let solve_script ?max_conflicts text =
   | Error e -> Error e
   | Ok script ->
       let solver = Solver.create () in
+      (* A script is one standalone query: if the run set a portfolio
+         width, this is exactly the hard one-shot check it is for. *)
+      Solver.set_portfolio_active solver true;
       List.iter (Solver.assert_ solver) script.assertions;
       let result = Solver.check ?max_conflicts solver in
       let model =

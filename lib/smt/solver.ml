@@ -1,5 +1,6 @@
 module Bv = Sqed_bv.Bv
 module Sat = Sqed_sat.Sat
+module Portfolio = Sqed_sat.Portfolio
 module Metrics = Sqed_obs.Metrics
 module Trace = Sqed_obs.Trace
 module Log = Sqed_obs.Log
@@ -16,6 +17,13 @@ type t = {
   sat : Sat.t;
   blaster : Bitblast.t;
   mutable has_model : bool;
+  portfolio : int;
+  portfolio_det : bool;
+  (* The per-query gate: the BMC engine flips this on only for deep
+     bounds, so cheap shallow queries (and every CEGIS candidate) never
+     pay clone/spawn overhead even when `--portfolio K` is global. *)
+  mutable portfolio_active : bool;
+  mutable last_unknown : Budget.reason option;
 }
 
 (* CNF preprocessing is on for every solver unless the caller opts out —
@@ -28,12 +36,44 @@ let simplify_default = ref true
    direct Tseitin emission for a whole run. *)
 let aig_default = ref true
 
-let create ?simplify ?aig () =
+(* Portfolio width for every new solver: 1 (single engine) unless the
+   `--portfolio K` CLI/bench flag raises it for the run.  Width alone
+   does not engage the portfolio — a query also needs the
+   [set_portfolio_active] gate, which only deep BMC bounds (and the
+   DIMACS front-end) turn on. *)
+let portfolio_default = ref 1
+
+(* Reproducible-CI mode for the portfolio (`--portfolio-deterministic`):
+   fixed round-robin scheduling on one domain instead of a parallel
+   race. *)
+let portfolio_deterministic_default = ref false
+
+let create ?simplify ?aig ?portfolio ?portfolio_deterministic () =
   let sat = Sat.create () in
   let on = match simplify with Some b -> b | None -> !simplify_default in
   Sat.set_simplify sat on;
   let aig_on = match aig with Some b -> b | None -> !aig_default in
-  { sat; blaster = Bitblast.create ~aig:aig_on sat; has_model = false }
+  let k =
+    match portfolio with Some k -> max 1 k | None -> max 1 !portfolio_default
+  in
+  let det =
+    match portfolio_deterministic with
+    | Some b -> b
+    | None -> !portfolio_deterministic_default
+  in
+  {
+    sat;
+    blaster = Bitblast.create ~aig:aig_on sat;
+    has_model = false;
+    portfolio = k;
+    portfolio_det = det;
+    portfolio_active = false;
+    last_unknown = None;
+  }
+
+let set_portfolio_active s b = s.portfolio_active <- b
+let portfolio_width s = s.portfolio
+let last_unknown s = s.last_unknown
 
 let set_budget s b = Sat.set_budget s.sat b
 let budget s = Sat.budget s.sat
@@ -70,6 +110,7 @@ let check ?(assumptions = []) ?max_conflicts ?deadline s =
           Sat.set_budget s.sat installed
         end
       in
+      s.last_unknown <- None;
       let r =
         try
           Fun.protect ~finally:restore (fun () ->
@@ -83,16 +124,27 @@ let check ?(assumptions = []) ?max_conflicts ?deadline s =
                       (fun t -> Bitblast.assume_bool s.blaster t)
                       assumptions)
               in
-              match
-                Sat.solve ~assumptions:assumption_lits ?max_conflicts
-                  ?deadline s.sat
-              with
+              let verdict =
+                if s.portfolio > 1 && s.portfolio_active then
+                  Portfolio.solve ~k:s.portfolio
+                    ~deterministic:s.portfolio_det
+                    ~assumptions:assumption_lits ?max_conflicts ?deadline
+                    s.sat
+                else
+                  Sat.solve ~assumptions:assumption_lits ?max_conflicts
+                    ?deadline s.sat
+              in
+              match verdict with
               | Sat.Sat ->
                   s.has_model <- true;
                   Sat
               | Sat.Unsat -> Unsat
-              | Sat.Unknown -> Unknown)
-        with Budget.Exhausted _ -> Unknown
+              | Sat.Unknown ->
+                  s.last_unknown <- Sat.last_interrupt s.sat;
+                  Unknown)
+        with Budget.Exhausted reason ->
+          s.last_unknown <- Some reason;
+          Unknown
       in
       if !Metrics.enabled then
         Metrics.observe_us h_check_us ((Unix.gettimeofday () -. t0) *. 1e6);

@@ -29,7 +29,42 @@ val aig_default : bool ref
 (** Default for [create]'s [?aig] (initially [true]); the CLI and bench
     `--no-aig` flag sets it to [false] for the whole run. *)
 
-val create : ?simplify:bool -> ?aig:bool -> unit -> t
+val portfolio_default : int ref
+(** Default for [create]'s [?portfolio] (initially [1], i.e. single
+    engine); the CLI and bench `--portfolio K` flag raises it for the
+    whole run. *)
+
+val portfolio_deterministic_default : bool ref
+(** Default for [create]'s [?portfolio_deterministic] (initially
+    [false]); the `--portfolio-deterministic` flag turns the portfolio's
+    reproducible single-domain round-robin mode on for the whole run. *)
+
+val create :
+  ?simplify:bool ->
+  ?aig:bool ->
+  ?portfolio:int ->
+  ?portfolio_deterministic:bool ->
+  unit ->
+  t
+(** [portfolio] is the portfolio width this solver may use (clamped to
+    at least 1).  Width alone changes nothing: a [check] dispatches to
+    {!Sqed_sat.Portfolio.solve} only while {!set_portfolio_active} has
+    gated the portfolio on, so callers decide per query whether the
+    clone/spawn overhead is worth it (the BMC engine enables it past a
+    depth threshold). *)
+
+val set_portfolio_active : t -> bool -> unit
+(** Per-query portfolio gate (off on a fresh solver).  No-op unless the
+    solver was created with a portfolio width above 1. *)
+
+val portfolio_width : t -> int
+(** The width this solver was created with (1 = single engine). *)
+
+val last_unknown : t -> Sqed_resil.Budget.reason option
+(** Why the most recent {!check} returned [Unknown]: the SAT core's
+    {!Sqed_sat.Sat.last_interrupt}, or the budget-exhaustion reason when
+    encoding work raised before the search started.  [None] after
+    [Sat]/[Unsat]. *)
 
 val assert_ : t -> Term.t -> unit
 (** Assert a width-1 term.  Under an installed {!set_budget} (or an

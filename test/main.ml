@@ -16,4 +16,5 @@ let () =
       ("synth", Test_synth.suite);
       ("export", Test_export.suite);
       ("bmc", Test_bmc.suite);
+      ("portfolio", Test_portfolio.suite);
     ]
