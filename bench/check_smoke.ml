@@ -168,7 +168,82 @@ let check_portfolio run_json log_jsonl =
   end;
   print_endline "portfolio-smoke check: all checks passed"
 
+(* --ledger mode, used by the @history-smoke alias: after bench runs have
+   appended to a run ledger, re-read it line by line with the checked
+   parser and assert every entry carries the sepe.ledger/1 envelope —
+   schema tag, provenance block (commit, host, cores, compiler, the
+   compat-gating config) and an embedded run payload — and that the file
+   holds at least the expected number of entries.  Then corrupt a copy
+   with a torn trailing line (the crash the append discipline is designed
+   to survive) and assert History.load drops exactly that line while
+   keeping every intact entry. *)
+let check_ledger path min_entries =
+  let module History = Sqed_obs.History in
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check
+    (Printf.sprintf "ledger holds >= %d entries (got %d)" min_entries
+       (List.length lines))
+    (List.length lines >= min_entries);
+  List.iteri
+    (fun i line ->
+      let tag name ok = check (Printf.sprintf "entry %d %s" (i + 1) name) ok in
+      match Json.parse line with
+      | Error e -> tag (Printf.sprintf "parses (%s)" e) false
+      | Ok j ->
+          tag "schema is sepe.ledger/1"
+            (Json.member "schema" j = Some (Json.String History.schema));
+          tag "has kind/label/recorded_unix_s"
+            (Json.member "kind" j <> None
+            && Json.member "label" j <> None
+            && Json.member "recorded_unix_s" j <> None);
+          let prov = Json.member "provenance" j in
+          tag "provenance fields present"
+            (List.for_all
+               (fun f -> Option.bind prov (Json.member f) <> None)
+               [ "git_commit"; "hostname"; "cores"; "ocaml"; "config" ]);
+          tag "config carries the compat-gate keys"
+            (List.for_all
+               (fun f ->
+                 Option.bind prov (fun p ->
+                     Option.bind (Json.member "config" p) (Json.member f))
+                 <> None)
+               [ "jobs"; "fast"; "simplify"; "aig"; "portfolio" ]);
+          tag "embeds a run payload"
+            (match Json.member "run" j with
+            | Some (Json.Obj _) -> true
+            | _ -> false))
+    lines;
+  let loaded = History.load path in
+  check "History.load keeps every intact line"
+    (List.length loaded.History.entries = List.length lines
+    && loaded.History.dropped = 0);
+  (* Torn-line rejection: a crash mid-append leaves a partial line. *)
+  let torn = path ^ ".torn" in
+  let oc = open_out_bin torn in
+  output_string oc (read_file path);
+  output_string oc "{\"schema\":\"sepe.ledger/1\",\"kind\":\"ben";
+  close_out oc;
+  let reloaded = History.load torn in
+  check "torn trailing line is dropped, intact entries survive"
+    (List.length reloaded.History.entries = List.length lines
+    && reloaded.History.dropped = 1);
+  if !failures > 0 then begin
+    Printf.printf "history-smoke check: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "history-smoke check: all checks passed"
+
 let () =
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "--ledger" then begin
+    let min_entries =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 1
+    in
+    check_ledger Sys.argv.(2) min_entries;
+    exit 0
+  end;
   if Array.length Sys.argv > 3 && Sys.argv.(1) = "--portfolio" then begin
     check_portfolio Sys.argv.(2) Sys.argv.(3);
     exit 0
@@ -207,6 +282,11 @@ let () =
              conversion skipped clause halves. *)
           "smt.aig.nodes"; "smt.aig.struct_hits"; "smt.aig.rewrites";
           "smt.aig.pg_skipped_clauses";
+          (* Guards the sampler blind spot: bench keeps the sampler on
+             whenever metrics are, and the first-poll fallback means even
+             a short run records at least one sample.  A zero here means
+             the time-series layer silently died. *)
+          "obs.sampler.samples";
         ];
       (* The resilience layer's counters must be published even when the
          run was clean (value 0): operators grep for them to tell "no

@@ -45,6 +45,16 @@ let metrics_json_path = ref None
 let log_path = ref None (* --log FILE|-: JSONL event log *)
 let report_path = ref None (* --report FILE: HTML report + run.json *)
 let checkpoint = ref None (* --checkpoint FILE: journal + resume fig3/table1 *)
+let ledger_path = ref None (* --ledger FILE: append this run to the ledger *)
+let baseline_path = ref None (* --baseline FILE: gate against ledger history *)
+let baseline_window = ref 20 (* --baseline-window N: history entries used *)
+let baseline_k = ref 4.0 (* --baseline-k K: MAD multiplier of the band *)
+
+(* --handicap F: sleep F x the measured wall inside every experiment
+   timer, inflating br_wall deterministically.  Exists purely to let CI
+   demonstrate the regression sentinel trips: a handicapped run against
+   an honest baseline must exit with the regression code. *)
+let handicap = ref 0.0
 let line = String.make 72 '-'
 
 (* Aggregated campaign verdicts across every experiment run this
@@ -71,8 +81,25 @@ type bench_record = {
 
 let records : bench_record list ref = ref []
 
-let write_json () =
-  let module Json = Sqed_obs.Json in
+module Json = Sqed_obs.Json
+module History = Sqed_obs.History
+module Diff = Sqed_obs.Diff
+
+(* The solver-configuration stamp: two runs are only comparable when
+   these knobs match, so the ledger carries them in provenance and the
+   sentinel filters its baseline through them. *)
+let config_json () =
+  [
+    ("jobs", Json.Int (jobs_used ()));
+    ("fast", Json.Bool !fast);
+    ("simplify", Json.Bool !Sqed_smt.Solver.simplify_default);
+    ("aig", Json.Bool !Sqed_smt.Solver.aig_default);
+    ("portfolio", Json.Int !Sqed_smt.Solver.portfolio_default);
+    ( "portfolio_deterministic",
+      Json.Bool !Sqed_smt.Solver.portfolio_deterministic_default );
+  ]
+
+let bench_payload () =
   let experiments =
     List.rev_map
       (fun r ->
@@ -85,22 +112,16 @@ let write_json () =
           ])
       !records
   in
-  let top =
-    Json.Obj
-      [
-        ("jobs", Json.Int (jobs_used ()));
-        ("fast", Json.Bool !fast);
-        ("simplify", Json.Bool !Sqed_smt.Solver.simplify_default);
-        ("aig", Json.Bool !Sqed_smt.Solver.aig_default);
-        ("portfolio", Json.Int !Sqed_smt.Solver.portfolio_default);
-        ( "portfolio_deterministic",
-          Json.Bool !Sqed_smt.Solver.portfolio_deterministic_default );
+  Json.Obj
+    (config_json ()
+    @ [
         ("experiments", Json.List experiments);
         ("metrics", Metrics.to_json ());
-      ]
-  in
+      ])
+
+let write_json payload =
   let oc = open_out !json_path in
-  output_string oc (Json.to_string top);
+  output_string oc (Json.to_string payload);
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n%!" !json_path
@@ -117,6 +138,10 @@ let timed name f =
   let k0 = Metrics.find_counter "sat.conflicts" in
   Fun.protect
     ~finally:(fun () ->
+      (* Deliberate slowdown for sentinel testing: stretch the wall by
+         the handicap factor before the record is cut. *)
+      if !handicap > 0.0 then
+        Unix.sleepf (!handicap *. (Unix.gettimeofday () -. t0));
       records :=
         {
           br_name = name;
@@ -671,9 +696,10 @@ let () =
   (* Flags: --fast, --jobs N, --json PATH, --no-metrics, --no-simplify,
      --no-aig, --portfolio K, --portfolio-deterministic, --trace PATH,
      --metrics-json PATH, --log PATH|-, --progress, --report PATH,
-     --checkpoint FILE, --fault-inject SPEC; everything else names an
-     experiment.  "-" for --trace/--metrics-json means stdout, for --log
-     stderr. *)
+     --checkpoint FILE, --fault-inject SPEC, --ledger FILE,
+     --baseline FILE, --baseline-window N, --baseline-k K,
+     --handicap F; everything else names an experiment.  "-" for
+     --trace/--metrics-json means stdout, for --log stderr. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--fast" :: rest ->
@@ -735,6 +761,38 @@ let () =
     | "--checkpoint" :: path :: rest ->
         checkpoint := Some path;
         parse acc rest
+    | "--ledger" :: path :: rest ->
+        ledger_path := Some path;
+        parse acc rest
+    | "--baseline" :: path :: rest ->
+        baseline_path := Some path;
+        parse acc rest
+    | "--baseline-window" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            baseline_window := k;
+            parse acc rest
+        | _ ->
+            Printf.eprintf
+              "--baseline-window expects a positive integer, got %S\n" n;
+            exit 1)
+    | "--baseline-k" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some k when k > 0.0 ->
+            baseline_k := k;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--baseline-k expects a positive number, got %S\n" v;
+            exit 1)
+    | "--handicap" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 ->
+            handicap := f;
+            parse acc rest
+        | _ ->
+            Printf.eprintf
+              "--handicap expects a non-negative factor, got %S\n" v;
+            exit 1)
     | "--fault-inject" :: spec :: rest -> (
         (* Deterministic fault injection (see Sqed_resil.Fault); overrides
            any SEPE_FAULT environment spec. *)
@@ -747,6 +805,10 @@ let () =
   in
   let args = parse [] args in
   Metrics.enabled := !metrics_on;
+  (* The sampler rides along whenever metrics are on: a bench summary
+     whose obs.sampler.samples is 0 was the blind spot that hid empty
+     sparklines until someone opened a report. *)
+  Sampler.enabled := !metrics_on;
   if !trace_path <> None then Span.enabled := true;
   Option.iter Obs_log.set_sink !log_path;
   if !report_path <> None then begin
@@ -781,7 +843,8 @@ let () =
                 "unknown experiment %S (fig3|table1|fig4|classical|micro)\n" n;
               exit 1)
         names);
-  write_json ();
+  let payload = bench_payload () in
+  write_json payload;
   (match !trace_path with
   | Some path ->
       Span.export path;
@@ -805,9 +868,91 @@ let () =
   (match !report_path with
   | Some path ->
       let cmdline = String.concat " " (Array.to_list Sys.argv) in
-      let sidecar = Report.write ~title:"bench run" ~cmdline ~path () in
+      (* When a ledger is in play the report grows its cross-run
+         section: sparklines over the archived runs + band verdicts. *)
+      let history =
+        match (!baseline_path, !ledger_path) with
+        | Some p, _ | None, Some p -> (History.load p).History.entries
+        | None, None -> []
+      in
+      let sidecar = Report.write ~title:"bench run" ~cmdline ~history ~path () in
       Printf.printf "wrote %s (+ %s)\n%!" path sidecar
   | None -> ());
+  (* Regression sentinel: this run against the config-compatible tail
+     of the baseline ledger.  Runs before the ledger append below so a
+     run is never its own baseline. *)
+  let regressed =
+    match !baseline_path with
+    | None -> false
+    | Some path ->
+        section (Printf.sprintf "baseline - this run vs ledger %s" path);
+        let loaded = History.load path in
+        if loaded.History.dropped > 0 then
+          Printf.printf "note: dropped %d torn/invalid ledger line(s)\n"
+            loaded.History.dropped;
+        let probe =
+          History.entry ~kind:"bench" ~label:"probe"
+            ~provenance:(History.provenance ~config:(config_json ()) ())
+            ~run:Json.Null
+        in
+        let compatible =
+          List.filter (History.compatible probe) loaded.History.entries
+        in
+        let incompatible =
+          List.length loaded.History.entries - List.length compatible
+        in
+        if incompatible > 0 then
+          Printf.printf
+            "note: ignoring %d entr%s with a different {jobs,fast,simplify,\
+             aig,portfolio} config\n"
+            incompatible
+            (if incompatible = 1 then "y" else "ies");
+        let history = List.filter_map History.run_of compatible in
+        let deltas =
+          Diff.compare_history ~k:!baseline_k ~window:!baseline_window ~history
+            ~cur:payload ()
+        in
+        (* Gated metrics always print; counters only when they left the
+           band, so the table stays readable. *)
+        List.iter
+          (fun d ->
+            if
+              Diff.gated d.Diff.dl_metric
+              || d.Diff.dl_verdict = Diff.Regressed
+              || d.Diff.dl_verdict = Diff.Improved
+            then Printf.printf "%s\n" (Diff.to_string d))
+          deltas;
+        let regs = Diff.regressions deltas in
+        if regs = [] then begin
+          Printf.printf
+            "baseline: clean (%d compatible run(s), window %d, k=%.1f)\n%!"
+            (List.length history) !baseline_window !baseline_k;
+          false
+        end
+        else begin
+          Printf.printf
+            "baseline: PERF REGRESSION - %d gated metric(s) above the noise \
+             band\n%!"
+            (List.length regs);
+          true
+        end
+  in
+  (match !ledger_path with
+  | None -> ()
+  | Some path ->
+      let label =
+        match args with [] -> "all" | names -> String.concat "+" names
+      in
+      let entry =
+        History.entry ~kind:"bench" ~label
+          ~provenance:(History.provenance ~config:(config_json ()) ())
+          ~run:payload
+      in
+      History.append path entry;
+      Printf.printf "ledger: appended run to %s (%d entr%s)\n%!" path
+        (List.length (History.load path).History.entries)
+        (if List.length (History.load path).History.entries = 1 then "y"
+         else "ies"));
   Obs_log.close_sink ();
   if Verdict.degraded !campaign then begin
     Printf.printf "%s\n%!" (Verdict.summary_line !campaign);
@@ -819,3 +964,7 @@ let () =
     end;
     exit (Verdict.exit_code !campaign)
   end
+  else if regressed then
+    (* Exit 5: the perf-regression sentinel (distinct from 3/4 degraded
+       campaigns); documented in README's exit-code table. *)
+    exit 5

@@ -15,6 +15,9 @@ module Obs_log = Sqed_obs.Log
 module Sampler = Sqed_obs.Sampler
 module Progress = Sqed_obs.Progress
 module Report = Sqed_obs.Report
+module History = Sqed_obs.History
+module Diff = Sqed_obs.Diff
+module Json = Sqed_obs.Json
 module Verdict = Sqed_resil.Verdict
 
 open Cmdliner
@@ -28,6 +31,11 @@ let degraded_exit = ref 0
 
 let note_summary s = degraded_exit := max !degraded_exit (Verdict.exit_code s)
 
+(* Set by `sepe runs compare --gate` when a gated metric leaves its
+   ledger noise band; turns into exit code 5 unless a degraded campaign
+   verdict (3/4) takes precedence. *)
+let regression_exit = ref false
+
 let degraded_exits =
   Cmd.Exit.info 3
     ~doc:
@@ -35,7 +43,17 @@ let degraded_exits =
        exhausted), none failed."
   :: Cmd.Exit.info 4
        ~doc:"a campaign completed degraded: at least one case failed hard."
+  :: Cmd.Exit.info 5
+       ~doc:
+         "the perf-regression sentinel tripped: a gated metric left the \
+          noise band of its ledger baseline."
   :: Cmd.Exit.defaults
+
+(* Campaign shape for the ledger's provenance config: commands that know
+   their --fast/--jobs values stamp them here before running, so ledger
+   entries are only compared against config-compatible baselines. *)
+let ledger_fast = ref false
+let ledger_jobs = ref None
 
 (* ---- observability ----------------------------------------------------- *)
 
@@ -51,6 +69,7 @@ type obs_opts = {
   obs_log_level : string;
   obs_progress : bool;
   obs_report : string option;
+  obs_ledger : string option;
   obs_no_simplify : bool;
   obs_no_aig : bool;
   obs_portfolio : int;
@@ -173,6 +192,20 @@ let obs_t =
              tail, plus a machine-readable $(b,run.json) sidecar.  \
              Implies metrics and enables the time-series sampler.")
   in
+  let ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append this run's machine-readable snapshot (the $(b,run.json) \
+             payload, stamped with git commit/dirty flag, hostname, core \
+             count, OCaml version and solver config) to the append-only \
+             JSONL run ledger at $(docv).  Browse and diff the archive \
+             with $(b,sepe runs list|show|compare); when combined with \
+             $(b,--report), the HTML report grows a cross-run history \
+             section.  Implies metrics and the sampler.")
+  in
   let fault =
     Arg.(
       value
@@ -190,8 +223,8 @@ let obs_t =
   Term.(
     const
       (fun obs_metrics obs_metrics_json obs_trace obs_log obs_log_level
-           obs_progress obs_report obs_no_simplify obs_no_aig obs_portfolio
-           obs_portfolio_det obs_fault ->
+           obs_progress obs_report obs_ledger obs_no_simplify obs_no_aig
+           obs_portfolio obs_portfolio_det obs_fault ->
         {
           obs_metrics;
           obs_metrics_json;
@@ -200,6 +233,7 @@ let obs_t =
           obs_log_level;
           obs_progress;
           obs_report;
+          obs_ledger;
           obs_no_simplify;
           obs_no_aig;
           obs_portfolio;
@@ -207,7 +241,7 @@ let obs_t =
           obs_fault;
         })
     $ metrics $ metrics_json $ trace $ log $ log_level $ progress $ report
-    $ no_simplify $ no_aig $ portfolio $ portfolio_det $ fault)
+    $ ledger $ no_simplify $ no_aig $ portfolio $ portfolio_det $ fault)
 
 let with_obs obs f =
   if obs.obs_no_simplify then Sqed_smt.Solver.simplify_default := false;
@@ -236,9 +270,9 @@ let with_obs obs f =
       Obs_log.set_sink ~level path
   | None -> ());
   if obs.obs_progress then Progress.enabled := true;
-  if obs.obs_report <> None then begin
-    (* The report embeds the metrics snapshot and the sampler series, so
-       both recorders must run. *)
+  if obs.obs_report <> None || obs.obs_ledger <> None then begin
+    (* The report and the ledger snapshot embed the metrics and the
+       sampler series, so both recorders must run. *)
     Metrics.enabled := true;
     Sampler.enabled := true
   end;
@@ -268,8 +302,41 @@ let with_obs obs f =
       (match obs.obs_report with
       | Some path ->
           let cmdline = String.concat " " (Array.to_list Sys.argv) in
-          let sidecar = Report.write ~title:"sepe run" ~cmdline ~path () in
+          let history =
+            match obs.obs_ledger with
+            | Some lp -> (History.load lp).History.entries
+            | None -> []
+          in
+          let sidecar =
+            Report.write ~title:"sepe run" ~cmdline ~history ~path ()
+          in
           Printf.printf "report: wrote %s (+ %s)\n" path sidecar
+      | None -> ());
+      (match obs.obs_ledger with
+      | Some path ->
+          let cmdline = String.concat " " (Array.to_list Sys.argv) in
+          let config =
+            [
+              ( "jobs",
+                Json.Int
+                  (match !ledger_jobs with
+                  | Some j -> j
+                  | None -> Pool.default_jobs ()) );
+              ("fast", Json.Bool !ledger_fast);
+              ("simplify", Json.Bool (not obs.obs_no_simplify));
+              ("aig", Json.Bool (not obs.obs_no_aig));
+              ("portfolio", Json.Int (max 1 obs.obs_portfolio));
+              ("portfolio_deterministic", Json.Bool obs.obs_portfolio_det);
+            ]
+          in
+          let label =
+            if Array.length Sys.argv > 1 then Sys.argv.(1) else "sepe"
+          in
+          History.append path
+            (History.entry ~kind:"sepe" ~label
+               ~provenance:(History.provenance ~config ())
+               ~run:(Report.run_payload ~title:"sepe run" ~cmdline ()));
+          Printf.printf "ledger: appended run to %s\n" path
       | None -> ());
       if obs.obs_metrics then print_string (Metrics.report ());
       Obs_log.close_sink ())
@@ -588,6 +655,7 @@ let sweep_cmd =
       value & opt float 600.0 & info [ "budget" ] ~doc:"Time budget per bug.")
   in
   let run obs cfg method_ set bound budget jobs stats =
+    ledger_jobs := jobs;
     with_obs obs @@ fun () ->
     let method_ =
       match method_ with
@@ -1035,6 +1103,8 @@ let fig3_cmd =
              numbers.")
   in
   let run obs fast no_witness jobs checkpoint =
+    ledger_fast := fast;
+    ledger_jobs := jobs;
     with_obs obs @@ fun () ->
     note_summary
       (Sqed_exp.Fig3.run ~fast
@@ -1049,6 +1119,189 @@ let fig3_cmd =
           pipeline.")
     Term.(const run $ obs_t $ fast $ no_witness $ jobs_arg $ checkpoint)
 
+(* ---- sepe runs ------------------------------------------------------------ *)
+
+(* Browse and diff the persistent run ledger.  These commands are pure
+   readers: they take their own --ledger argument (defaulting to the
+   committed baseline archive) instead of the shared obs flags, so
+   listing an archive never appends to it. *)
+
+let runs_ledger_arg =
+  Arg.(
+    value
+    & opt string "LEDGER_sepe.jsonl"
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "The run ledger to read: an append-only JSONL archive written by \
+           $(b,sepe --ledger) / $(b,bench --ledger) (default: the committed \
+           baseline ledger).")
+
+let load_ledger path =
+  let loaded = History.load path in
+  if loaded.History.dropped > 0 then
+    Printf.printf "note: dropped %d torn/invalid ledger line(s)\n"
+      loaded.History.dropped;
+  loaded.History.entries
+
+(* 1-based index into the ledger, counted from the oldest entry, as
+   printed by `runs list`; 0 or negative counts from the newest. *)
+let nth_entry entries idx =
+  let n = List.length entries in
+  let i = if idx > 0 then idx - 1 else n - 1 + idx in
+  if i < 0 || i >= n then None else Some (List.nth entries i)
+
+let runs_list_cmd =
+  let run path =
+    match load_ledger path with
+    | [] -> Printf.printf "ledger %s is empty\n" path
+    | entries ->
+        Printf.printf "idx  recorded          kind  label              \
+                       commit   wall\n";
+        List.iteri
+          (fun i e -> print_endline (History.summary_line (i + 1) e))
+          entries
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the archived runs, oldest first.")
+    Term.(const run $ runs_ledger_arg)
+
+let runs_show_cmd =
+  let index =
+    Arg.(
+      value & pos 0 int 0
+      & info [] ~docv:"INDEX"
+          ~doc:
+            "Entry to show, 1-based from the oldest (as printed by \
+             $(b,runs list)); 0 or negative counts back from the newest.")
+  in
+  let run path idx =
+    match nth_entry (load_ledger path) idx with
+    | None ->
+        Printf.eprintf "no entry %d in %s\n" idx path;
+        exit 1
+    | Some e -> print_endline (Json.to_string e)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print one archived entry (default: the newest) as JSON.")
+    Term.(const run $ runs_ledger_arg $ index)
+
+let runs_compare_cmd =
+  let base =
+    Arg.(
+      value & pos 0 int (-1)
+      & info [] ~docv:"BASE"
+          ~doc:
+            "Baseline entry index (default: the second-newest).  1-based \
+             from the oldest; 0 or negative counts back from the newest.")
+  in
+  let cur =
+    Arg.(
+      value & pos 1 int 0
+      & info [] ~docv:"CURRENT"
+          ~doc:"Entry to compare against BASE (default: the newest).")
+  in
+  let against_history =
+    Arg.(
+      value & flag
+      & info [ "against-history" ]
+          ~doc:
+            "Instead of a two-run A/B diff, check CURRENT against the \
+             noise band (median +- k*MAD) of every config-compatible \
+             earlier entry — the same math as the $(b,bench --baseline) \
+             sentinel.")
+  in
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit with the regression code (5) when a gated metric — \
+             per-experiment wall/clauses/conflicts or the run wall — \
+             regresses.  For CI.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Print every metric delta, counters included (default: gated \
+             metrics plus anything that left its band).")
+  in
+  let run path base_idx cur_idx against_history gate all =
+    let entries = load_ledger path in
+    if List.length entries < 2 then begin
+      Printf.eprintf
+        "ledger %s has %d entr%s; comparing needs at least 2\n" path
+        (List.length entries)
+        (if List.length entries = 1 then "y" else "ies");
+      exit 1
+    end;
+    let want e = match History.run_of e with Some r -> r | None -> Json.Null in
+    match (nth_entry entries base_idx, nth_entry entries cur_idx) with
+    | None, _ | _, None ->
+        Printf.eprintf "entry index out of range for %s\n" path;
+        exit 1
+    | Some base_e, Some cur_e ->
+        let deltas =
+          if against_history then begin
+            let earlier =
+              (* Everything strictly before CURRENT, config-compatible. *)
+              let rec before acc = function
+                | [] -> List.rev acc
+                | e :: _ when e == cur_e -> List.rev acc
+                | e :: rest -> before (e :: acc) rest
+              in
+              before [] entries
+              |> List.filter (History.compatible cur_e)
+              |> List.filter_map History.run_of
+            in
+            Printf.printf
+              "checking entry vs the noise band of %d compatible earlier \
+               run(s)\n"
+              (List.length earlier);
+            Diff.compare_history ~history:earlier ~cur:(want cur_e) ()
+          end
+          else begin
+            if not (History.compatible base_e cur_e) then
+              Printf.printf
+                "note: the two entries have different {jobs,fast,simplify,\
+                 aig,portfolio} configs; deltas may reflect config, not \
+                 code\n";
+            Diff.compare_runs ~base:(want base_e) ~cur:(want cur_e) ()
+          end
+        in
+        List.iter
+          (fun d ->
+            if
+              all
+              || Diff.gated d.Diff.dl_metric
+              || d.Diff.dl_verdict = Diff.Regressed
+              || d.Diff.dl_verdict = Diff.Improved
+            then print_endline (Diff.to_string d))
+          deltas;
+        let regs = Diff.regressions deltas in
+        if regs <> [] then begin
+          Printf.printf "%d gated metric(s) regressed\n" (List.length regs);
+          if gate then regression_exit := true
+        end
+        else Printf.printf "no gated regressions\n"
+  in
+  Cmd.v
+    (Cmd.info "compare" ~exits:degraded_exits
+       ~doc:
+         "Diff two archived runs, or one run against the noise band of its \
+          history.")
+    Term.(const run $ runs_ledger_arg $ base $ cur $ against_history $ gate $ all)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:
+         "Browse and diff the persistent run ledger (see $(b,--ledger) on \
+          the other subcommands).")
+    [ runs_list_cmd; runs_show_cmd; runs_compare_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "sepe" ~version:"1.0"
@@ -1058,10 +1311,20 @@ let main =
     [
       bugs_cmd; synth_cmd; table_cmd; verify_cmd; sweep_cmd; export_cmd;
       sim_cmd; campaign_cmd; solve_cmd; prove_cmd; doctor_cmd; fig3_cmd;
+      runs_cmd;
     ]
 
 let () =
-  let code = match Cmd.eval main with 0 -> !degraded_exit | n -> n in
+  let code =
+    match Cmd.eval main with
+    | 0 ->
+        (* Degraded campaign verdicts (3/4) outrank the sentinel: a run
+           that wasn't clean has no trustworthy perf numbers to gate. *)
+        if !degraded_exit > 0 then !degraded_exit
+        else if !regression_exit then 5
+        else 0
+    | n -> n
+  in
   (* Degraded exit: close the flight recorder with the last warnings so
      the reason is visible without re-running under --log. *)
   if code = 3 || code = 4 then begin

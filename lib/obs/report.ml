@@ -153,6 +153,9 @@ let run_json ~title ~cmdline ~now =
       ("log_tail", Json.List (List.map Log.to_json (Log.tail 100)));
     ]
 
+let run_payload ?(title = "sepe-sqed run") ?(cmdline = "") () =
+  run_json ~title ~cmdline ~now:(Unix.gettimeofday ())
+
 (* -- HTML ----------------------------------------------------------------- *)
 
 let style =
@@ -210,6 +213,7 @@ tr:last-child td { border-bottom: none; }
        border-radius: 8px; padding: 10px 12px; font-family: ui-monospace, monospace;
        font-size: 12px; white-space: pre-wrap; overflow-x: auto; }
 .log .lw { color: var(--warning); } .log .le { color: var(--critical); }
+tr.hist-regressed td { background: color-mix(in srgb, var(--critical) 12%, transparent); }
 .foot { margin-top: 24px; color: var(--muted); font-size: 12px; }
 </style>|}
 
@@ -364,11 +368,78 @@ let sparks_html () =
     ]
     |> List.filter (fun b -> b <> "")
   in
-  if blocks = [] then
+  if blocks = [] then begin
+    (* A blank time-series section usually means an instrumentation
+       regression (sampler never enabled, poll sites unplugged), not an
+       uninteresting run — say so in the flight log too. *)
+    if !Sampler.enabled then
+      Log.warn "obs.report.empty_series"
+        [ ("hint", Log.Str "sampler enabled but no samples recorded") ];
     "<p class=\"sub\">no samples recorded (sampler off or run too short)</p>"
+  end
   else {|<div class="sparks">|} ^ String.concat "" blocks ^ "</div>"
 
-let html ~title ~cmdline ~now =
+(* -- cross-run history ----------------------------------------------------- *)
+
+(* One row per tracked metric: sparkline over the ledger values with
+   this run appended, the noise band, and where this run landed.
+   Counters are shown only when they left the band — fifty flat counter
+   rows would bury the signal. *)
+let history_html history cur =
+  let payloads = List.filter_map History.run_of history in
+  if payloads = [] then ""
+  else
+    let deltas = Diff.compare_history ~history:payloads ~cur () in
+    let shown =
+      List.filter
+        (fun d ->
+          Diff.gated d.Diff.dl_metric
+          || d.Diff.dl_verdict = Diff.Regressed
+          || d.Diff.dl_verdict = Diff.Improved)
+        deltas
+    in
+    if shown = [] then ""
+    else
+      let verdict_cell = function
+        | Diff.Regressed -> {|<span class="st st-crit">&#10007; regressed</span>|}
+        | Diff.Improved -> {|<span class="st st-ok">&#10003; improved</span>|}
+        | Diff.Within -> {|<span class="st st-skip">within band</span>|}
+        | Diff.Insufficient ->
+            {|<span class="st st-skip">insufficient history</span>|}
+        | Diff.Fresh -> {|<span class="st st-warn">new metric</span>|}
+      in
+      let history_metrics = List.map Diff.metrics_of_payload payloads in
+      let row d =
+        let name = d.Diff.dl_metric in
+        let values =
+          List.filter_map (List.assoc_opt name) history_metrics
+          @ [ d.Diff.dl_cur ]
+        in
+        let band_cell =
+          match d.Diff.dl_band with
+          | Some b when b.Diff.bd_n >= 2 ->
+              Printf.sprintf "%s&nbsp;&hellip;&nbsp;%s" (humanize b.Diff.bd_lo)
+                (humanize b.Diff.bd_hi)
+          | _ -> "&ndash;"
+        in
+        Printf.sprintf
+          {|<tr%s><td><code>%s</code></td><td>%s</td><td class="num">%s</td><td class="num">%s</td><td>%s</td></tr>|}
+          (if d.Diff.dl_verdict = Diff.Regressed then
+             {| class="hist-regressed"|}
+           else "")
+          (html_escape name)
+          (sparkline_svg [ values ])
+          band_cell
+          (humanize d.Diff.dl_cur)
+          (verdict_cell d.Diff.dl_verdict)
+      in
+      Printf.sprintf
+        {|<h2>History (%d archived runs)</h2>
+<table><tr><th>metric</th><th>trend</th><th>noise band</th><th>this run</th><th>verdict</th></tr>%s</table>|}
+        (List.length payloads)
+        (String.concat "" (List.map row shown))
+
+let html ~title ~cmdline ~history ~now =
   let metrics = Metrics.to_json () in
   let rows = cases () in
   let count st = List.length (List.filter (fun r -> r.rc_status = st) rows) in
@@ -405,6 +476,7 @@ let html ~title ~cmdline ~now =
 <div class="tiles">%s</div>
 <h2>Time series</h2>
 %s
+%s
 <h2>Cases</h2>
 %s
 <h2>Phase timers</h2>
@@ -425,7 +497,9 @@ let html ~title ~cmdline ~now =
        tm.Unix.tm_sec)
     (html_escape cmdline)
     (String.concat "" tiles)
-    (sparks_html ()) (cases_table rows) (timers_table metrics)
+    (sparks_html ())
+    (history_html history (run_json ~title ~cmdline ~now))
+    (cases_table rows) (timers_table metrics)
     (histograms_table metrics) (counters_table metrics) (log_tail_html ())
     trace_dropped log_dropped
 
@@ -436,12 +510,12 @@ let sidecar_path path =
   in
   base ^ ".json"
 
-let write ?(title = "sepe-sqed run") ?(cmdline = "") ~path () =
+let write ?(title = "sepe-sqed run") ?(cmdline = "") ?(history = []) ~path () =
   let now = Unix.gettimeofday () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (html ~title ~cmdline ~now));
+    (fun () -> output_string oc (html ~title ~cmdline ~history ~now));
   let side = sidecar_path path in
   let oc = open_out side in
   Fun.protect

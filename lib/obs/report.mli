@@ -31,9 +31,19 @@ val note_case : case_row -> unit
 val cases : unit -> case_row list
 (** Rows noted so far, in arrival order. *)
 
-val write : ?title:string -> ?cmdline:string -> path:string -> unit -> string
+val run_payload : ?title:string -> ?cmdline:string -> unit -> Json.t
+(** The machine-readable run snapshot ([schema sepe.flight/1]): the
+    same object {!write} puts in the sidecar, for callers that archive
+    it elsewhere — e.g. appending to a {!History} ledger. *)
+
+val write :
+  ?title:string -> ?cmdline:string -> ?history:Json.t list ->
+  path:string -> unit -> string
 (** Write the HTML report to [path] and the sidecar next to it;
-    returns the sidecar path. *)
+    returns the sidecar path.  [history] (ledger entries, oldest
+    first) adds a cross-run section: per-metric sparklines across the
+    archived runs with this run appended, noise-band verdicts from
+    {!Diff}, regression rows highlighted. *)
 
 val reset : unit -> unit
 (** Drop noted cases and restart the run clock. Test helper. *)

@@ -109,7 +109,12 @@ let tick = ref 0
 let poll_quick () =
   if !enabled then begin
     incr tick;
-    if !tick land 63 = 0 then maybe_sample (Domain.DLS.get state_key)
+    let d = Domain.DLS.get state_key in
+    (* Tick-count fallback: until this domain has recorded its first
+       sample, bypass the 1/64 mask so a run short on polls (a fast
+       bench cell, a test) still leaves a series behind instead of a
+       blank sparkline. *)
+    if d.d_count = 0 || !tick land 63 = 0 then maybe_sample d
   end;
   Progress.beat ()
 

@@ -38,7 +38,9 @@ val poll_sat : conflicts:int -> propagations:int -> learnts:int -> unit
 val poll_quick : unit -> unit
 (** Sampling opportunity with no new values (bit-blast word loops, pool
     workers); tick-masked internally so even the enabled path only
-    reads the clock every 64th call. Also forwards a {!Progress.beat}. *)
+    reads the clock every 64th call — except before the calling
+    domain's first sample, where the mask is bypassed so short runs
+    still record a series. Also forwards a {!Progress.beat}. *)
 
 val note_aig_nodes : int -> unit
 (** Report the current AIG node count for the calling domain. *)

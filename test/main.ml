@@ -2,6 +2,7 @@ let () =
   Alcotest.run "sepe_sqed"
     [
       ("obs", Test_obs.suite);
+      ("diff", Test_diff.suite);
       ("bv", Test_bv.suite);
       ("sat", Test_sat.suite);
       ("simplify", Test_simplify.suite);

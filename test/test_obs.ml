@@ -360,6 +360,21 @@ let test_sampler_disabled_is_silent () =
   Alcotest.(check int) "no series recorded while disabled" 0
     (List.length (Sampler.series ()))
 
+let test_sampler_first_poll_samples () =
+  (* The empty-series blind spot: at the default 50ms interval a short
+     run used to record nothing because poll_quick's 1/64 tick mask ate
+     the few polls it made.  The mask is bypassed until the domain's
+     first sample, so even a single quick poll leaves a series. *)
+  Sampler.enabled := true;
+  Sampler.set_interval_us 50_000;
+  Sampler.poll_quick ();
+  match Sampler.series () with
+  | [ (_, [ _ ]) ] -> ()
+  | series ->
+      Alcotest.fail
+        (Printf.sprintf "expected one 1-sample series, got %d series"
+           (List.length series))
+
 let test_progress_eta () =
   Alcotest.(check (option (float 1e-9))) "no ETA before the first case"
     None
@@ -442,6 +457,55 @@ let test_report_roundtrip () =
           Alcotest.(check bool) "log tail embedded" true
             (Json.member "log_tail" j <> None))
 
+let test_report_run_payload_and_history () =
+  let module History = Sqed_obs.History in
+  Metrics.enabled := true;
+  Report.note_case
+    { Report.rc_key = "unit/a"; rc_status = Report.Ok; rc_detail = "ok";
+      rc_dur = 0.01 };
+  let payload = Report.run_payload ~title:"unit" ~cmdline:"test" () in
+  (match Json.parse (Json.to_string payload) with
+  | Error e -> Alcotest.fail ("run_payload does not re-parse: " ^ e)
+  | Ok j ->
+      Alcotest.(check (option string))
+        "payload carries the flight schema" (Some "sepe.flight/1")
+        (Option.bind (Json.member "schema" j) Json.to_string_opt);
+      Alcotest.(check bool) "payload has wall_s" true
+        (Json.member "wall_s" j <> None);
+      Alcotest.(check bool) "payload embeds metrics" true
+        (Json.member "metrics" j <> None));
+  (* A ledger history renders a cross-run section in the report. *)
+  let entry wall =
+    History.entry ~kind:"sepe" ~label:"unit"
+      ~provenance:(History.provenance ~config:[ ("jobs", Json.Int 1) ] ())
+      ~run:(Json.Obj [ ("wall_s", Json.Float wall) ])
+  in
+  let path = Filename.temp_file "sepe_report" ".html" in
+  let sidecar = ref "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if !sidecar <> "" && Sys.file_exists !sidecar then Sys.remove !sidecar)
+    (fun () ->
+      sidecar :=
+        Report.write ~title:"unit" ~cmdline:"test"
+          ~history:[ entry 0.01; entry 0.02 ] ~path ();
+      let ic = open_in_bin path in
+      let html =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let contains needle =
+        let n = String.length needle and h = String.length html in
+        let rec go i = i + n <= h && (String.sub html i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "history section rendered" true
+        (contains "History (2 archived runs)");
+      Alcotest.(check bool) "whole-run wall row present" true
+        (contains "run.wall_s"))
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick (isolated test_json_roundtrip);
@@ -484,4 +548,8 @@ let suite =
       (isolated test_progress_disabled_transparent);
     Alcotest.test_case "report round-trips through run.json" `Quick
       (isolated test_report_roundtrip);
+    Alcotest.test_case "a single quick poll records the first sample" `Quick
+      (isolated test_sampler_first_poll_samples);
+    Alcotest.test_case "run payload and report history section" `Quick
+      (isolated test_report_run_payload_and_history);
   ]
